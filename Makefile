@@ -1,0 +1,36 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build test vet bench cover experiments examples clean
+
+all: vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Full figure + ablation benchmark sweep (writes bench_output.txt).
+bench:
+	$(GO) test -bench . -benchmem ./... 2>&1 | tee bench_output.txt
+
+cover:
+	$(GO) test -cover ./...
+
+# Regenerate every table and figure of the paper's evaluation.
+experiments:
+	$(GO) run ./cmd/experiments -fig all
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/hospital
+	$(GO) run ./examples/streaming
+	$(GO) run ./examples/workload
+
+clean:
+	rm -f test_output.txt bench_output.txt

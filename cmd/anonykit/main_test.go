@@ -1,0 +1,162 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"spatialanon/internal/anonmodel"
+	"spatialanon/internal/dataset"
+)
+
+func runOK(t *testing.T, args ...string) (string, string) {
+	t.Helper()
+	var out, errBuf bytes.Buffer
+	if err := run(args, &out, &errBuf); err != nil {
+		t.Fatalf("run(%v): %v\nstderr: %s", args, err, errBuf.String())
+	}
+	return out.String(), errBuf.String()
+}
+
+func TestRTreeOnPatients(t *testing.T) {
+	out, report := runOK(t, "-dataset", "patients", "-n", "200", "-algo", "rtree", "-k", "10", "-seed", "3")
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 201 {
+		t.Fatalf("%d output lines", len(lines))
+	}
+	if lines[0] != "age,sex,zipcode,ailment" {
+		t.Fatalf("header %q", lines[0])
+	}
+	if !strings.Contains(report, "rtree: 200 records") || !strings.Contains(report, "10-anonymity") {
+		t.Fatalf("report: %q", report)
+	}
+	if !strings.Contains(report, "discernibility") {
+		t.Fatalf("report missing metrics: %q", report)
+	}
+}
+
+func TestEveryAlgorithmRuns(t *testing.T) {
+	for _, algo := range []string{"rtree", "mondrian", "mondrian-relaxed", "hilbert", "zorder", "grid", "quad", "bptree"} {
+		out, _ := runOK(t, "-dataset", "landsend", "-n", "300", "-algo", algo, "-k", "5", "-quiet")
+		if len(strings.Split(strings.TrimSpace(out), "\n")) != 301 {
+			t.Fatalf("%s: wrong row count", algo)
+		}
+	}
+}
+
+func TestConstraintFlags(t *testing.T) {
+	_, report := runOK(t, "-dataset", "patients", "-n", "400", "-algo", "rtree", "-k", "5", "-l", "3")
+	if !strings.Contains(report, "l-diversity") {
+		t.Fatalf("report: %q", report)
+	}
+	_, report = runOK(t, "-dataset", "patients", "-n", "400", "-algo", "mondrian", "-k", "5", "-alpha", "0.6")
+	if !strings.Contains(report, "(0.6,5)-anonymity") {
+		t.Fatalf("report: %q", report)
+	}
+}
+
+func TestBiasFlag(t *testing.T) {
+	_, report := runOK(t, "-dataset", "landsend", "-n", "500", "-algo", "rtree", "-k", "5", "-bias", "zipcode")
+	if !strings.Contains(report, "rtree") {
+		t.Fatalf("report: %q", report)
+	}
+}
+
+func TestCSVInOut(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "in.csv")
+	out := filepath.Join(dir, "out.csv")
+	f, err := os.Create(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dataset.WriteCSV(f, dataset.PatientsSchema(), dataset.GeneratePatients(100, 9)); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	runOK(t, "-dataset", "patients", "-in", in, "-out", out, "-algo", "mondrian", "-k", "10", "-compact", "-quiet")
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(strings.Split(strings.TrimSpace(string(data)), "\n")) != 101 {
+		t.Fatal("output row count wrong")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := [][]string{
+		{"-dataset", "nope"},
+		{"-algo", "nope"},
+		{"-k", "0"},
+		{"-k", "5", "-l", "2", "-alpha", "0.5"},
+		{"-dataset", "patients", "-n", "0"},
+		{"-dataset", "landsend", "-algo", "rtree", "-bias", "nope", "-n", "50"},
+		{"-in", "/does/not/exist.csv"},
+		{"-dataset", "patients", "-n", "50", "-algo", "bptree", "-key", "nope"},
+	}
+	for _, args := range cases {
+		var out, errBuf bytes.Buffer
+		if err := run(args, &out, &errBuf); err == nil {
+			t.Fatalf("run(%v) succeeded", args)
+		}
+	}
+}
+
+func TestBuildConstraint(t *testing.T) {
+	c, err := buildConstraint(5, 0, 0)
+	if err != nil || c.(anonmodel.KAnonymity).K != 5 {
+		t.Fatalf("%v %v", c, err)
+	}
+	if _, err := buildConstraint(0, 0, 0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	c, _ = buildConstraint(5, 3, 0)
+	if c.(anonmodel.LDiversity).L != 3 {
+		t.Fatalf("%v", c)
+	}
+	c, _ = buildConstraint(5, 0, 0.4)
+	if c.(anonmodel.AlphaK).Alpha != 0.4 {
+		t.Fatalf("%v", c)
+	}
+}
+
+func TestMultiGranular(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "release.csv")
+	_, report := runOK(t,
+		"-dataset", "patients", "-n", "800", "-seed", "12",
+		"-algo", "rtree", "-k", "5",
+		"-granularities", "5,20,50", "-out", out)
+	for _, k := range []int{5, 20, 50} {
+		path := filepath.Join(dir, "release.k"+strconv.Itoa(k)+".csv")
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("release k=%d missing: %v", k, err)
+		}
+		if lines := strings.Count(string(data), "\n"); lines != 801 {
+			t.Fatalf("k=%d release has %d lines", k, lines)
+		}
+	}
+	if !strings.Contains(report, "collusion check over 3 releases: safe at k=5") {
+		t.Fatalf("report: %q", report)
+	}
+}
+
+func TestMultiGranularErrors(t *testing.T) {
+	var outBuf, errBuf bytes.Buffer
+	cases := [][]string{
+		{"-dataset", "patients", "-n", "100", "-algo", "mondrian", "-granularities", "5,10", "-out", "/tmp/x.csv"},
+		{"-dataset", "patients", "-n", "100", "-algo", "rtree", "-granularities", "5,10"},
+		{"-dataset", "patients", "-n", "100", "-algo", "rtree", "-granularities", "abc", "-out", "/tmp/x.csv"},
+		{"-dataset", "patients", "-n", "100", "-algo", "rtree", "-k", "10", "-granularities", "5", "-out", "/tmp/x.csv"},
+	}
+	for _, args := range cases {
+		if err := run(args, &outBuf, &errBuf); err == nil {
+			t.Fatalf("run(%v) succeeded", args)
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestCSVToStdout(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-dataset", "patients", "-n", "25", "-format", "csv"}, &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 26 {
+		t.Fatalf("%d lines", len(lines))
+	}
+	if lines[0] != "age,sex,zipcode,ailment" {
+		t.Fatalf("header %q", lines[0])
+	}
+}
+
+func TestBinaryToFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "le.bin")
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-dataset", "landsend", "-n", "100", "-format", "bin", "-out", path}, &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's layout: 32 bytes per Lands End record.
+	if info.Size() != 3200 {
+		t.Fatalf("file size %d, want 3200", info.Size())
+	}
+	if !strings.Contains(errBuf.String(), "wrote 100 records x 32 bytes") {
+		t.Fatalf("stderr %q", errBuf.String())
+	}
+}
+
+func TestAgrawalBinRecordSize(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ag.bin")
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-dataset", "agrawal", "-n", "10", "-format", "bin", "-out", path}, &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	info, _ := os.Stat(path)
+	if info.Size() != 360 {
+		t.Fatalf("file size %d, want 360 (36 bytes per record)", info.Size())
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := [][]string{
+		{"-dataset", "nope"},
+		{"-format", "nope"},
+		{"-n", "-1"},
+		{"-dataset", "patients", "-format", "bin"},
+		{"-out", "/no/such/dir/file.csv"},
+	}
+	for _, args := range cases {
+		var out, errBuf bytes.Buffer
+		if err := run(args, &out, &errBuf); err == nil {
+			t.Fatalf("run(%v) succeeded", args)
+		}
+	}
+}

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// tinyArgs keeps the suite fast in unit tests.
+func tinyArgs(extra ...string) []string {
+	return append([]string{"-records", "2000", "-queries", "60", "-ks", "5,10", "-batch", "500", "-batches", "2"}, extra...)
+}
+
+func TestSingleFigures(t *testing.T) {
+	for _, fig := range []string{"fig7a", "fig7b", "fig9", "fig10", "fig11", "fig12a", "fig12b", "fig12c", "fig12d"} {
+		var out, errBuf bytes.Buffer
+		if err := run(tinyArgs("-fig", fig), &out, &errBuf); err != nil {
+			t.Fatalf("%s: %v", fig, err)
+		}
+		if !strings.Contains(out.String(), "Figure") {
+			t.Fatalf("%s output: %q", fig, out.String())
+		}
+	}
+}
+
+func TestFig8WithSizes(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if err := run(tinyArgs("-fig", "fig8a", "-sizes", "1000,2000", "-mem", "2"), &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Figure 8(a)") {
+		t.Fatalf("output: %q", out.String())
+	}
+	out.Reset()
+	if err := run(tinyArgs("-fig", "fig8b", "-mem", "4"), &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Figure 8(b)") {
+		t.Fatalf("output: %q", out.String())
+	}
+}
+
+func TestCommaSeparatedFigures(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if err := run(tinyArgs("-fig", "fig9,fig12c"), &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "Figure 9") || !strings.Contains(s, "Figure 12(c)") {
+		t.Fatalf("output: %q", s)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := [][]string{
+		{"-fig", "nope"},
+		{"-ks", "abc"},
+		{"-ks", "0"},
+		{"-fig", "fig8a", "-sizes", "x"},
+	}
+	for _, args := range cases {
+		var out, errBuf bytes.Buffer
+		if err := run(args, &out, &errBuf); err == nil {
+			t.Fatalf("run(%v) succeeded", args)
+		}
+	}
+}
+
+func TestParseInts(t *testing.T) {
+	got, err := parseInts("5, 10,25")
+	if err != nil || len(got) != 3 || got[2] != 25 {
+		t.Fatalf("%v %v", got, err)
+	}
+	if _, err := parseInts("5,-1"); err == nil {
+		t.Fatal("negative accepted")
+	}
+}

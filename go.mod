@@ -1,0 +1,3 @@
+module spatialanon
+
+go 1.22

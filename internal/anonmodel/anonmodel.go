@@ -1,0 +1,193 @@
+// Package anonmodel defines the vocabulary every anonymization algorithm
+// in this repository shares: the Partition (an equivalence class of
+// records published under one generalized box) and the Constraint (the
+// pluggable definition of an "allowable partition" — vanilla
+// k-anonymity, distinct l-diversity [21], or (α,k)-anonymity [32]).
+//
+// The paper's position (Section 4) is that the definition of an
+// allowable partition is an *input*: "whatever the requirement, [the
+// anonymizer] tries to find the smallest bounding box on the k-elements
+// that still satisfies the requirements". Keeping Constraint as a small
+// interface lets the R⁺-tree split guard, the Mondrian recursion, and
+// the leaf-scan grouping all take the same requirement objects.
+package anonmodel
+
+import (
+	"fmt"
+	"strings"
+
+	"spatialanon/internal/attr"
+)
+
+// Partition is one equivalence class of an anonymized table: the
+// generalized Box every member publishes as its quasi-identifier value,
+// plus the member records. For uncompacted anonymizations the Box is
+// the partitioning region; after compaction (or for index MBRs) it is
+// the tight minimum bounding box.
+type Partition struct {
+	Box     attr.Box
+	Records []attr.Record
+}
+
+// Size returns the number of records in the partition.
+func (p Partition) Size() int { return len(p.Records) }
+
+// Validate checks the partition's internal consistency: every record's
+// point must lie inside the published box.
+func (p Partition) Validate() error {
+	for _, r := range p.Records {
+		if !p.Box.Contains(r.QI) {
+			return fmt.Errorf("anonmodel: record %d at %v outside partition box %v", r.ID, r.QI, p.Box)
+		}
+	}
+	return nil
+}
+
+// TotalRecords sums partition sizes.
+func TotalRecords(ps []Partition) int {
+	n := 0
+	for _, p := range ps {
+		n += p.Size()
+	}
+	return n
+}
+
+// CheckAnonymity verifies that every partition satisfies the constraint
+// and is internally consistent — the invariant every anonymized release
+// must satisfy. It returns the first violation.
+func CheckAnonymity(ps []Partition, c Constraint) error {
+	for i, p := range ps {
+		if err := p.Validate(); err != nil {
+			return fmt.Errorf("partition %d: %w", i, err)
+		}
+		if !c.Satisfied(p.Records) {
+			return fmt.Errorf("anonmodel: partition %d (%d records) violates %v", i, p.Size(), c)
+		}
+	}
+	return nil
+}
+
+// Constraint decides whether a group of records may be published as one
+// partition. Implementations must be monotone in the sense the paper's
+// algorithms rely on: adding records to a satisfying group keeps
+// k-anonymity satisfied, and the leaf-scan grouping additionally
+// requires that unions of satisfying groups satisfy (true for all three
+// constraints here).
+type Constraint interface {
+	Satisfied(recs []attr.Record) bool
+	// MinSize is a lower bound on the size of any satisfying group,
+	// used by partitioners to prune unsplittable groups early.
+	MinSize() int
+	fmt.Stringer
+}
+
+// KAnonymity is the vanilla requirement: at least K records per
+// partition.
+type KAnonymity struct{ K int }
+
+// Satisfied implements Constraint.
+func (c KAnonymity) Satisfied(recs []attr.Record) bool { return len(recs) >= c.K }
+
+// MinSize implements Constraint.
+func (c KAnonymity) MinSize() int { return c.K }
+
+func (c KAnonymity) String() string { return fmt.Sprintf("%d-anonymity", c.K) }
+
+// LDiversity is distinct l-diversity layered on k-anonymity [21]: a
+// partition needs at least K records and at least L distinct sensitive
+// values.
+type LDiversity struct {
+	K int
+	L int
+}
+
+// Satisfied implements Constraint.
+func (c LDiversity) Satisfied(recs []attr.Record) bool {
+	if len(recs) < c.K {
+		return false
+	}
+	distinct := make(map[string]struct{}, c.L)
+	for _, r := range recs {
+		distinct[r.Sensitive] = struct{}{}
+		if len(distinct) >= c.L {
+			return true
+		}
+	}
+	return len(distinct) >= c.L
+}
+
+// MinSize implements Constraint.
+func (c LDiversity) MinSize() int {
+	if c.L > c.K {
+		return c.L
+	}
+	return c.K
+}
+
+func (c LDiversity) String() string { return fmt.Sprintf("(%d,%d)-k-anonymity+l-diversity", c.K, c.L) }
+
+// AlphaK is (α,k)-anonymity [32]: at least K records, and no single
+// sensitive value may account for more than fraction Alpha of the
+// partition.
+type AlphaK struct {
+	K     int
+	Alpha float64
+}
+
+// Satisfied implements Constraint.
+func (c AlphaK) Satisfied(recs []attr.Record) bool {
+	if len(recs) < c.K {
+		return false
+	}
+	counts := map[string]int{}
+	for _, r := range recs {
+		counts[r.Sensitive]++
+	}
+	limit := c.Alpha * float64(len(recs))
+	for _, n := range counts {
+		if float64(n) > limit {
+			return false
+		}
+	}
+	return true
+}
+
+// MinSize implements Constraint.
+func (c AlphaK) MinSize() int { return c.K }
+
+func (c AlphaK) String() string { return fmt.Sprintf("(%g,%d)-anonymity", c.Alpha, c.K) }
+
+// All combines constraints conjunctively: a group is allowable only when
+// every constituent constraint accepts it. Used when publishing a
+// coarser granularity k₁ on top of a base constraint (the leaf-scan
+// algorithm requires both).
+type All []Constraint
+
+// Satisfied implements Constraint.
+func (cs All) Satisfied(recs []attr.Record) bool {
+	for _, c := range cs {
+		if !c.Satisfied(recs) {
+			return false
+		}
+	}
+	return true
+}
+
+// MinSize implements Constraint.
+func (cs All) MinSize() int {
+	m := 1
+	for _, c := range cs {
+		if s := c.MinSize(); s > m {
+			m = s
+		}
+	}
+	return m
+}
+
+func (cs All) String() string {
+	parts := make([]string, len(cs))
+	for i, c := range cs {
+		parts[i] = c.String()
+	}
+	return strings.Join(parts, "+")
+}

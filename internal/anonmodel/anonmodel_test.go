@@ -1,0 +1,158 @@
+package anonmodel
+
+import (
+	"strings"
+	"testing"
+
+	"spatialanon/internal/attr"
+)
+
+func recsWithSensitive(vals ...string) []attr.Record {
+	out := make([]attr.Record, len(vals))
+	for i, v := range vals {
+		out[i] = attr.Record{ID: int64(i), QI: []float64{float64(i)}, Sensitive: v}
+	}
+	return out
+}
+
+func TestKAnonymity(t *testing.T) {
+	c := KAnonymity{K: 3}
+	if c.Satisfied(recsWithSensitive("a", "b")) {
+		t.Fatal("2 records satisfied 3-anonymity")
+	}
+	if !c.Satisfied(recsWithSensitive("a", "a", "a")) {
+		t.Fatal("3 records failed 3-anonymity")
+	}
+	if c.MinSize() != 3 {
+		t.Fatalf("MinSize = %d", c.MinSize())
+	}
+	if !strings.Contains(c.String(), "3-anonymity") {
+		t.Fatalf("String = %q", c)
+	}
+}
+
+func TestLDiversity(t *testing.T) {
+	c := LDiversity{K: 2, L: 3}
+	if c.Satisfied(recsWithSensitive("flu", "flu", "flu", "flu")) {
+		t.Fatal("1 distinct value satisfied 3-diversity")
+	}
+	if !c.Satisfied(recsWithSensitive("flu", "cancer", "anemia")) {
+		t.Fatal("3 distinct values failed 3-diversity")
+	}
+	if c.Satisfied(recsWithSensitive("flu")) {
+		t.Fatal("single record satisfied k=2")
+	}
+	if c.MinSize() != 3 {
+		t.Fatalf("MinSize = %d (max of K and L)", c.MinSize())
+	}
+	if (LDiversity{K: 5, L: 2}).MinSize() != 5 {
+		t.Fatal("MinSize must be max(K,L)")
+	}
+}
+
+func TestAlphaK(t *testing.T) {
+	c := AlphaK{K: 2, Alpha: 0.5}
+	if c.Satisfied(recsWithSensitive("flu", "flu", "flu", "cold")) {
+		t.Fatal("75% single value satisfied alpha=0.5")
+	}
+	if !c.Satisfied(recsWithSensitive("flu", "flu", "cold", "cold")) {
+		t.Fatal("50/50 failed alpha=0.5")
+	}
+	if c.Satisfied(recsWithSensitive("flu")) {
+		t.Fatal("single record satisfied k=2")
+	}
+	if c.MinSize() != 2 {
+		t.Fatalf("MinSize = %d", c.MinSize())
+	}
+}
+
+func TestPartitionValidate(t *testing.T) {
+	p := Partition{
+		Box:     attr.Box{{Lo: 0, Hi: 10}},
+		Records: []attr.Record{{ID: 1, QI: []float64{5}}},
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Size() != 1 {
+		t.Fatalf("Size = %d", p.Size())
+	}
+	bad := Partition{
+		Box:     attr.Box{{Lo: 0, Hi: 10}},
+		Records: []attr.Record{{ID: 2, QI: []float64{11}}},
+	}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("out-of-box record accepted")
+	}
+}
+
+func TestCheckAnonymity(t *testing.T) {
+	good := []Partition{
+		{Box: attr.Box{{Lo: 0, Hi: 10}}, Records: recsAtX(1, 2)},
+		{Box: attr.Box{{Lo: 10, Hi: 20}}, Records: recsAtX(11, 12, 13)},
+	}
+	if err := CheckAnonymity(good, KAnonymity{K: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckAnonymity(good, KAnonymity{K: 3}); err == nil {
+		t.Fatal("undersized partition accepted")
+	}
+	if TotalRecords(good) != 5 {
+		t.Fatalf("TotalRecords = %d", TotalRecords(good))
+	}
+	broken := []Partition{{Box: attr.Box{{Lo: 0, Hi: 1}}, Records: recsAtX(5, 6)}}
+	if err := CheckAnonymity(broken, KAnonymity{K: 1}); err == nil {
+		t.Fatal("inconsistent partition accepted")
+	}
+}
+
+func TestAllConjunction(t *testing.T) {
+	c := All{KAnonymity{K: 2}, LDiversity{K: 2, L: 2}, AlphaK{K: 2, Alpha: 0.9}}
+	if !c.Satisfied(recsWithSensitive("flu", "cold", "flu")) {
+		t.Fatal("satisfying group rejected")
+	}
+	// Fails l-diversity only.
+	if c.Satisfied(recsWithSensitive("flu", "flu", "flu")) {
+		t.Fatal("single-value group satisfied l-diversity conjunct")
+	}
+	// Fails size only.
+	if c.Satisfied(recsWithSensitive("flu")) {
+		t.Fatal("undersized group accepted")
+	}
+	if c.MinSize() != 2 {
+		t.Fatalf("MinSize = %d", c.MinSize())
+	}
+	big := All{KAnonymity{K: 3}, LDiversity{K: 2, L: 7}}
+	if big.MinSize() != 7 {
+		t.Fatalf("MinSize = %d, want max of conjuncts", big.MinSize())
+	}
+	if (All{}).MinSize() != 1 {
+		t.Fatalf("empty conjunction MinSize = %d", (All{}).MinSize())
+	}
+	if !(All{}).Satisfied(nil) {
+		t.Fatal("empty conjunction must be trivially satisfied")
+	}
+	s := c.String()
+	for _, want := range []string{"2-anonymity", "l-diversity", "(0.9,2)-anonymity", "+"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("All.String() = %q missing %q", s, want)
+		}
+	}
+}
+
+func TestConstraintStrings(t *testing.T) {
+	if s := (LDiversity{K: 3, L: 2}).String(); !strings.Contains(s, "(3,2)") {
+		t.Fatalf("LDiversity.String = %q", s)
+	}
+	if s := (AlphaK{K: 4, Alpha: 0.25}).String(); s != "(0.25,4)-anonymity" {
+		t.Fatalf("AlphaK.String = %q", s)
+	}
+}
+
+func recsAtX(xs ...float64) []attr.Record {
+	out := make([]attr.Record, len(xs))
+	for i, x := range xs {
+		out[i] = attr.Record{ID: int64(i), QI: []float64{x}}
+	}
+	return out
+}

@@ -1,0 +1,217 @@
+package attr
+
+import (
+	"fmt"
+	"sort"
+)
+
+// HNode is one node of a generalization hierarchy tree. Leaves are the
+// base categorical values; internal nodes are generalized values (e.g.
+// "WI" generalizing zipcodes, "USA" generalizing states).
+type HNode struct {
+	Label    string
+	Children []*HNode
+
+	parent *HNode
+	// lo and hi are the inclusive range of leaf codes covered by the
+	// subtree rooted at this node. Leaf codes are assigned left-to-right
+	// during BuildHierarchy, which is the "intuitive ordering" the paper
+	// imposes on categorical values.
+	lo, hi int
+	depth  int
+}
+
+// Leaf constructs a leaf hierarchy node.
+func Leaf(label string) *HNode { return &HNode{Label: label} }
+
+// Node constructs an internal hierarchy node over the given children.
+func Node(label string, children ...*HNode) *HNode {
+	return &HNode{Label: label, Children: children}
+}
+
+// IsLeaf reports whether the node has no children.
+func (n *HNode) IsLeaf() bool { return len(n.Children) == 0 }
+
+// LeafRange returns the inclusive range of leaf codes under this node.
+func (n *HNode) LeafRange() (lo, hi int) { return n.lo, n.hi }
+
+// LeafCount returns the number of leaves under this node — the quantity
+// |t.A_i| in the categorical case of the certainty penalty
+// (Definition 4).
+func (n *HNode) LeafCount() int { return n.hi - n.lo + 1 }
+
+// Parent returns the node's parent, or nil at the root.
+func (n *HNode) Parent() *HNode { return n.parent }
+
+// Depth returns the node's distance from the root.
+func (n *HNode) Depth() int { return n.depth }
+
+// Hierarchy is a generalization hierarchy over a categorical attribute's
+// value domain. Leaves are coded 0..LeafCount()-1 in left-to-right order,
+// so a coded interval [lo,hi] corresponds to a contiguous run of leaves
+// and the compaction procedure's "lowest common ancestor" (Section 4) is
+// the lowest node whose leaf range covers [lo,hi].
+type Hierarchy struct {
+	root   *HNode
+	leaves []*HNode
+	byCode map[string]int
+}
+
+// BuildHierarchy finalizes a hierarchy from its root node: it assigns leaf
+// codes left-to-right, parent pointers and depths. It returns an error if
+// the tree is empty or a leaf label repeats.
+func BuildHierarchy(root *HNode) (*Hierarchy, error) {
+	if root == nil {
+		return nil, fmt.Errorf("attr: nil hierarchy root")
+	}
+	h := &Hierarchy{root: root, byCode: make(map[string]int)}
+	var walk func(n *HNode, parent *HNode, depth int) error
+	walk = func(n *HNode, parent *HNode, depth int) error {
+		n.parent = parent
+		n.depth = depth
+		if n.IsLeaf() {
+			if _, dup := h.byCode[n.Label]; dup {
+				return fmt.Errorf("attr: duplicate hierarchy leaf %q", n.Label)
+			}
+			code := len(h.leaves)
+			h.byCode[n.Label] = code
+			n.lo, n.hi = code, code
+			h.leaves = append(h.leaves, n)
+			return nil
+		}
+		n.lo = len(h.leaves)
+		for _, c := range n.Children {
+			if err := walk(c, n, depth+1); err != nil {
+				return err
+			}
+		}
+		n.hi = len(h.leaves) - 1
+		return nil
+	}
+	if err := walk(root, nil, 0); err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+// MustBuildHierarchy is BuildHierarchy, panicking on error. Intended for
+// statically-known hierarchies in examples and tests.
+func MustBuildHierarchy(root *HNode) *Hierarchy {
+	h, err := BuildHierarchy(root)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// FlatHierarchy builds the trivial two-level hierarchy rootLabel -> values
+// — the shape used when a categorical attribute has no semantic taxonomy.
+func FlatHierarchy(rootLabel string, values ...string) *Hierarchy {
+	children := make([]*HNode, len(values))
+	for i, v := range values {
+		children[i] = Leaf(v)
+	}
+	return MustBuildHierarchy(Node(rootLabel, children...))
+}
+
+// Root returns the hierarchy's root node.
+func (h *Hierarchy) Root() *HNode { return h.root }
+
+// LeafCount returns the size of the base domain (|T.A_i| for categorical
+// attributes in the certainty penalty).
+func (h *Hierarchy) LeafCount() int { return len(h.leaves) }
+
+// Code returns the integer code for a base value, or an error if the
+// value is not a leaf of the hierarchy.
+func (h *Hierarchy) Code(label string) (int, error) {
+	c, ok := h.byCode[label]
+	if !ok {
+		return 0, fmt.Errorf("attr: value %q not in hierarchy", label)
+	}
+	return c, nil
+}
+
+// LabelOf returns the base value with the given code.
+func (h *Hierarchy) LabelOf(code int) (string, error) {
+	if code < 0 || code >= len(h.leaves) {
+		return "", fmt.Errorf("attr: leaf code %d out of range [0,%d)", code, len(h.leaves))
+	}
+	return h.leaves[code].Label, nil
+}
+
+// LCA returns the lowest node in the hierarchy whose leaf range covers
+// the inclusive code range [lo, hi]. This is the generalized value the
+// compaction procedure chooses for a partition's categorical values
+// (Section 4: "the procedure chooses the lowest common ancestor in the
+// hierarchy for all the values in P").
+func (h *Hierarchy) LCA(lo, hi int) (*HNode, error) {
+	if lo > hi {
+		return nil, fmt.Errorf("attr: empty code range [%d,%d]", lo, hi)
+	}
+	if lo < 0 || hi >= len(h.leaves) {
+		return nil, fmt.Errorf("attr: code range [%d,%d] outside [0,%d)", lo, hi, len(h.leaves))
+	}
+	n := h.leaves[lo]
+	for n.lo > lo || n.hi < hi {
+		n = n.parent
+	}
+	return n, nil
+}
+
+// GeneralizeInterval maps a coded interval to the most specific hierarchy
+// description: the exact value when the interval covers a single leaf,
+// otherwise the label of the LCA of the covered leaves. The returned span
+// is the LCA's leaf count, i.e. the |t.A_i| term of the certainty
+// penalty.
+func (h *Hierarchy) GeneralizeInterval(iv Interval) (label string, span int, err error) {
+	if iv.IsEmpty() {
+		return "", 0, fmt.Errorf("attr: cannot generalize empty interval")
+	}
+	lo := int(iv.Lo)
+	hi := int(iv.Hi)
+	n, err := h.LCA(lo, hi)
+	if err != nil {
+		return "", 0, err
+	}
+	if lo == hi {
+		return h.leaves[lo].Label, 1, nil
+	}
+	return n.Label, n.LeafCount(), nil
+}
+
+// Levels returns, for each depth d, the nodes at depth d in left-to-right
+// order. Useful for rendering hierarchies and for hierarchy-aware recoding
+// schemes.
+func (h *Hierarchy) Levels() [][]*HNode {
+	var out [][]*HNode
+	var walk func(n *HNode)
+	walk = func(n *HNode) {
+		for len(out) <= n.depth {
+			out = append(out, nil)
+		}
+		out[n.depth] = append(out[n.depth], n)
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(h.root)
+	return out
+}
+
+// CodesOf maps a slice of base labels to their sorted, deduplicated codes.
+func (h *Hierarchy) CodesOf(labels []string) ([]int, error) {
+	set := make(map[int]bool, len(labels))
+	for _, l := range labels {
+		c, err := h.Code(l)
+		if err != nil {
+			return nil, err
+		}
+		set[c] = true
+	}
+	out := make([]int, 0, len(set))
+	for c := range set {
+		out = append(out, c)
+	}
+	sort.Ints(out)
+	return out, nil
+}

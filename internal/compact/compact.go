@@ -1,0 +1,47 @@
+// Package compact implements the compaction procedure of Section 4: for
+// each partition of a k-anonymous data set, regenerate the published
+// generalization as the minimum bounding box of the records actually in
+// the partition. Numeric attributes shrink to [min, max]; integer-coded
+// categorical attributes shrink to the minimal code range (rendering
+// through a generalization hierarchy then yields the lowest common
+// ancestor, exactly as the paper specifies).
+//
+// Compaction introduces "gaps" — regions of the domain that provably
+// contain no record — which is what makes compacted anonymizations so
+// much more precise (Figures 10 and 12). The procedure is deliberately a
+// single pass over each partition so that it can be retrofitted onto the
+// output of any anonymization algorithm, index-based or not; Figure 9
+// shows its cost is a small fraction of anonymization time.
+package compact
+
+import (
+	"spatialanon/internal/anonmodel"
+	"spatialanon/internal/attr"
+)
+
+// Partition returns a copy of p whose box is the tight MBR of its
+// records. Records are shared, not copied. A partition with no records
+// keeps an empty box.
+func Partition(p anonmodel.Partition) anonmodel.Partition {
+	dims := len(p.Box)
+	if dims == 0 && len(p.Records) > 0 {
+		dims = len(p.Records[0].QI)
+	}
+	box := attr.NewBox(dims)
+	for _, r := range p.Records {
+		box.Include(r.QI)
+	}
+	return anonmodel.Partition{Box: box, Records: p.Records}
+}
+
+// Partitions compacts every partition, returning a new slice. The
+// record sets — and therefore the discernibility penalty, which depends
+// only on partition cardinalities — are unchanged; only the published
+// boxes shrink (Section 5.3 observes exactly this on Figure 10(a)).
+func Partitions(ps []anonmodel.Partition) []anonmodel.Partition {
+	out := make([]anonmodel.Partition, len(ps))
+	for i, p := range ps {
+		out[i] = Partition(p)
+	}
+	return out
+}

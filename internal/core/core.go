@@ -1,0 +1,348 @@
+// Package core is the paper's primary contribution assembled as a
+// library: k-anonymization performed by building a spatial index.
+//
+// It exposes:
+//
+//   - RTreeAnonymizer — the index-based anonymizer. Bulk loads through
+//     the buffer tree (Section 2.1), accepts incremental inserts,
+//     deletes and updates (Section 2.2), publishes compacted partitions
+//     straight from leaf MBRs, and derives any granularity k₁ ≥ k via
+//     the leaf-scan algorithm (Section 3.2) or tree levels via the
+//     hierarchical algorithm (Section 3.1).
+//   - MondrianAnonymizer, SFCAnonymizer, GridAnonymizer — the baselines,
+//     behind the same Anonymizer interface, so the experiment harness
+//     and the CLI treat every algorithm uniformly.
+//   - LeafScan — the Figure 5 algorithm as a standalone function.
+//   - VerifyCollusionSafety — the Definition 2 / Lemma 1 k-bound check
+//     over a set of multi-granular releases.
+//   - Render / WriteCSV — materialization of an anonymized table, with
+//     hierarchy-aware categorical generalization ("*" at the root).
+package core
+
+import (
+	"fmt"
+
+	"spatialanon/internal/anonmodel"
+	"spatialanon/internal/attr"
+	"spatialanon/internal/bptree"
+	"spatialanon/internal/compact"
+	"spatialanon/internal/gridfile"
+	"spatialanon/internal/mondrian"
+	"spatialanon/internal/quadtree"
+	"spatialanon/internal/rplustree"
+	"spatialanon/internal/sfc"
+)
+
+// Anonymizer is the uniform face of every algorithm in the repository:
+// one-shot anonymization of a record set under the algorithm's
+// configured constraint.
+type Anonymizer interface {
+	// Anonymize partitions recs. Implementations may reorder the input
+	// slice.
+	Anonymize(recs []attr.Record) ([]anonmodel.Partition, error)
+	// Name identifies the algorithm in reports.
+	Name() string
+}
+
+// LeafScan is the multi-granular leaf-scan algorithm of Figure 5: scan
+// base partitions in index order, accumulating whole partitions until
+// the constraint is satisfied, then recompute the group's generalized
+// box as the union of its members' boxes. A final group that cannot
+// satisfy the constraint is absorbed into its predecessor (step LS4).
+//
+// Because output groups are unions of whole base partitions, every
+// record stays bound (Definition 2) to the ≥k records of its base
+// partition, which is what makes releases at several granularities
+// jointly safe (Lemma 1).
+func LeafScan(base []anonmodel.Partition, constraint anonmodel.Constraint) ([]anonmodel.Partition, error) {
+	if constraint == nil {
+		return nil, fmt.Errorf("core: nil constraint")
+	}
+	if len(base) == 0 {
+		return nil, nil
+	}
+	dims := len(base[0].Box)
+	var out []anonmodel.Partition
+	cur := anonmodel.Partition{Box: attr.NewBox(dims)}
+	for _, p := range base {
+		cur.Records = append(cur.Records, p.Records...)
+		cur.Box.IncludeBox(p.Box)
+		if constraint.Satisfied(cur.Records) {
+			out = append(out, cur)
+			cur = anonmodel.Partition{Box: attr.NewBox(dims)}
+		}
+	}
+	if len(cur.Records) > 0 {
+		if len(out) == 0 {
+			if !constraint.Satisfied(cur.Records) {
+				return nil, fmt.Errorf("core: %d records cannot satisfy %v", len(cur.Records), constraint)
+			}
+			out = append(out, cur)
+		} else {
+			last := &out[len(out)-1]
+			last.Records = append(last.Records, cur.Records...)
+			last.Box.IncludeBox(cur.Box)
+		}
+	}
+	return out, nil
+}
+
+// VerifyCollusionSafety checks that a set of releases of the SAME table
+// jointly preserves k-anonymity: an adversary holding every release can
+// narrow a record's candidates only to the intersection of its
+// partitions across releases, so every such intersection cell must hold
+// at least k records. This is the operational form of Definition 2 /
+// Lemma 1: releases generated hierarchically or by leaf scan over one
+// index pass (each cell then contains a whole base partition), while
+// independently re-anonymized releases generally fail.
+func VerifyCollusionSafety(releases [][]anonmodel.Partition, k int) error {
+	if len(releases) == 0 {
+		return nil
+	}
+	// cell key: the tuple of partition indices a record occupies.
+	type cellKey string
+	assign := make(map[int64][]int) // record ID -> partition index per release
+	for ri, rel := range releases {
+		for pi, p := range rel {
+			for _, r := range p.Records {
+				ids, ok := assign[r.ID]
+				if !ok {
+					ids = make([]int, len(releases))
+					for i := range ids {
+						ids[i] = -1
+					}
+					assign[r.ID] = ids
+				}
+				if ids[ri] != -1 {
+					return fmt.Errorf("core: record %d appears in two partitions of release %d", r.ID, ri)
+				}
+				ids[ri] = pi
+			}
+		}
+	}
+	cells := make(map[cellKey]int)
+	for id, ids := range assign {
+		for ri, pi := range ids {
+			if pi == -1 {
+				return fmt.Errorf("core: record %d missing from release %d", id, ri)
+			}
+		}
+		key := cellKey(fmt.Sprint(ids))
+		cells[key]++
+	}
+	for key, n := range cells {
+		if n < k {
+			return fmt.Errorf("core: intersection cell %s holds %d records < k=%d — collusion breaks k-anonymity", key, n, k)
+		}
+	}
+	return nil
+}
+
+// Release is one anonymized table of a multi-granular set.
+type Release struct {
+	// Granularity is the anonymity parameter this release was derived
+	// at (the leaf-scan k₁, or the effective minimum occupancy of a
+	// hierarchical level).
+	Granularity int
+	Partitions  []anonmodel.Partition
+}
+
+// MondrianAnonymizer adapts the top-down baseline to the Anonymizer
+// interface, optionally compacting its output (Section 4 retrofit).
+type MondrianAnonymizer struct {
+	Schema     *attr.Schema
+	Constraint anonmodel.Constraint
+	Relaxed    bool
+	Compact    bool
+}
+
+// Anonymize implements Anonymizer.
+func (m *MondrianAnonymizer) Anonymize(recs []attr.Record) ([]anonmodel.Partition, error) {
+	ps, err := mondrian.Anonymize(m.Schema, recs, mondrian.Options{
+		Constraint: m.Constraint,
+		Relaxed:    m.Relaxed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if m.Compact {
+		ps = compact.Partitions(ps)
+	}
+	return ps, nil
+}
+
+// Name implements Anonymizer.
+func (m *MondrianAnonymizer) Name() string {
+	name := "mondrian"
+	if m.Relaxed {
+		name += "-relaxed"
+	}
+	if m.Compact {
+		name += "+compact"
+	}
+	return name
+}
+
+// SFCAnonymizer adapts sort-based space-filling-curve anonymization to
+// the Anonymizer interface.
+type SFCAnonymizer struct {
+	Curve      sfc.Curve
+	Constraint anonmodel.Constraint
+}
+
+// Anonymize implements Anonymizer.
+func (a *SFCAnonymizer) Anonymize(recs []attr.Record) ([]anonmodel.Partition, error) {
+	return sfc.Anonymize(recs, a.Curve, a.Constraint)
+}
+
+// Name implements Anonymizer.
+func (a *SFCAnonymizer) Name() string { return "sfc-" + a.Curve.String() }
+
+// GridAnonymizer adapts the grid-file baseline to the Anonymizer
+// interface, optionally compacting (the Section 4 retrofit that package
+// gridfile exists to demonstrate).
+type GridAnonymizer struct {
+	Schema      *attr.Schema
+	Constraint  anonmodel.Constraint
+	CellsPerDim int
+	Compact     bool
+}
+
+// Anonymize implements Anonymizer.
+func (g *GridAnonymizer) Anonymize(recs []attr.Record) ([]anonmodel.Partition, error) {
+	ps, err := gridfile.Anonymize(g.Schema, recs, gridfile.Options{
+		Constraint:  g.Constraint,
+		CellsPerDim: g.CellsPerDim,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if g.Compact {
+		ps = compact.Partitions(ps)
+	}
+	return ps, nil
+}
+
+// Name implements Anonymizer.
+func (g *GridAnonymizer) Name() string {
+	if g.Compact {
+		return "gridfile+compact"
+	}
+	return "gridfile"
+}
+
+// BPTreeAnonymizer anonymizes with a one-dimensional B⁺-tree — the
+// paper's introductory observation (Section 1, Figure 1(c)) made
+// executable. The index clusters records on a single key attribute;
+// leaves become groups; each group publishes its MBR over all
+// attributes (the implicit compaction of Section 4). It is the extreme
+// point of the workload-bias spectrum: ideal when every query ranges
+// over the key, poor for everything else, and the ablation benchmarks
+// quantify both sides.
+type BPTreeAnonymizer struct {
+	Schema     *attr.Schema
+	Constraint anonmodel.Constraint
+	// Key is the attribute to index on.
+	Key int
+
+	tree *bptree.Tree
+}
+
+// Anonymize implements Anonymizer.
+func (b *BPTreeAnonymizer) Anonymize(recs []attr.Record) ([]anonmodel.Partition, error) {
+	if b.Constraint == nil {
+		return nil, fmt.Errorf("core: nil constraint")
+	}
+	if len(recs) == 0 {
+		return nil, nil
+	}
+	tr, err := bptree.New(bptree.Config{
+		Schema: b.Schema,
+		Key:    b.Key,
+		BaseK:  b.Constraint.MinSize(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range recs {
+		if err := tr.Insert(r); err != nil {
+			return nil, err
+		}
+	}
+	b.tree = tr
+	dims := b.Schema.Dims()
+	leaves := tr.Leaves()
+	base := make([]anonmodel.Partition, len(leaves))
+	for i, group := range leaves {
+		box := attr.NewBox(dims)
+		for _, r := range group {
+			box.Include(r.QI)
+		}
+		base[i] = anonmodel.Partition{Box: box, Records: group}
+	}
+	return LeafScan(base, b.Constraint)
+}
+
+// Name implements Anonymizer.
+func (b *BPTreeAnonymizer) Name() string { return fmt.Sprintf("bptree[%d]", b.Key) }
+
+// Tree exposes the index built by the last Anonymize call.
+func (b *BPTreeAnonymizer) Tree() *bptree.Tree { return b.tree }
+
+// QuadAnonymizer anonymizes with a PR-quadtree index (Section 6's
+// alternative index family, after [16]): the tree subdivides at cell
+// midpoints, leaves publish tight MBRs, and constraint satisfaction
+// comes from leaf-scanning the quadrant-ordered leaves.
+type QuadAnonymizer struct {
+	Schema     *attr.Schema
+	Constraint anonmodel.Constraint
+	// SplitAxes optionally pins the subdividing attributes (max 4);
+	// empty picks the widest domain axes.
+	SplitAxes []int
+
+	tree *quadtree.Tree
+}
+
+// Anonymize implements Anonymizer.
+func (q *QuadAnonymizer) Anonymize(recs []attr.Record) ([]anonmodel.Partition, error) {
+	if q.Constraint == nil {
+		return nil, fmt.Errorf("core: nil constraint")
+	}
+	if len(recs) == 0 {
+		return nil, nil
+	}
+	qt, err := quadtree.New(quadtree.Config{
+		Schema:    q.Schema,
+		BaseK:     q.Constraint.MinSize(),
+		SplitAxes: q.SplitAxes,
+	}, recs)
+	if err != nil {
+		return nil, err
+	}
+	q.tree = qt
+	leaves := qt.Leaves()
+	base := make([]anonmodel.Partition, len(leaves))
+	for i, l := range leaves {
+		base[i] = anonmodel.Partition{Box: l.MBR.Clone(), Records: l.Records}
+	}
+	return LeafScan(base, q.Constraint)
+}
+
+// Name implements Anonymizer.
+func (q *QuadAnonymizer) Name() string { return "quadtree" }
+
+// Tree exposes the underlying index from the last Anonymize call (nil
+// before the first).
+func (q *QuadAnonymizer) Tree() *quadtree.Tree { return q.tree }
+
+// partitionsFromLeaves converts index leaves into base partitions. Leaf
+// MBRs are tight, so these partitions are born compacted — the index
+// "maintains MBRs" (Section 2.3) and never needs the explicit
+// compaction pass.
+func partitionsFromLeaves(leaves []rplustree.LeafView) []anonmodel.Partition {
+	out := make([]anonmodel.Partition, len(leaves))
+	for i, l := range leaves {
+		out[i] = anonmodel.Partition{Box: l.MBR.Clone(), Records: l.Records}
+	}
+	return out
+}

@@ -1,0 +1,312 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"spatialanon/internal/anonmodel"
+	"spatialanon/internal/attr"
+	"spatialanon/internal/dataset"
+)
+
+func TestLeafScanBasics(t *testing.T) {
+	// Base partitions of sizes 3,3,3,3 at k1=5: groups of 6,6 — whole
+	// bases only.
+	var base []anonmodel.Partition
+	for i := 0; i < 4; i++ {
+		var recs []attr.Record
+		for j := 0; j < 3; j++ {
+			recs = append(recs, attr.Record{ID: int64(i*3 + j), QI: []float64{float64(i*10 + j)}})
+		}
+		base = append(base, anonmodel.Partition{
+			Box:     attr.Box{{Lo: float64(i * 10), Hi: float64(i*10 + 2)}},
+			Records: recs,
+		})
+	}
+	out, err := LeafScan(base, anonmodel.KAnonymity{K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 || out[0].Size() != 6 || out[1].Size() != 6 {
+		t.Fatalf("leaf scan groups: %d partitions", len(out))
+	}
+	// Boxes are unions of member base boxes.
+	if !out[0].Box.Equal(attr.Box{{Lo: 0, Hi: 12}}) {
+		t.Fatalf("group box %v", out[0].Box)
+	}
+}
+
+func TestLeafScanTailAbsorption(t *testing.T) {
+	// Sizes 3,3,3: k1=5 -> group {3,3}=6, tail {3} unsatisfying -> LS4
+	// merges it into the last group: {6+3}=9.
+	var base []anonmodel.Partition
+	for i := 0; i < 3; i++ {
+		var recs []attr.Record
+		for j := 0; j < 3; j++ {
+			recs = append(recs, attr.Record{ID: int64(i*3 + j), QI: []float64{float64(i)}})
+		}
+		base = append(base, anonmodel.Partition{Box: attr.PointBox([]float64{float64(i)}), Records: recs})
+	}
+	out, err := LeafScan(base, anonmodel.KAnonymity{K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || out[0].Size() != 9 {
+		t.Fatalf("LS4 absorption failed: %d partitions, first %d", len(out), out[0].Size())
+	}
+}
+
+func TestLeafScanErrors(t *testing.T) {
+	if _, err := LeafScan(nil, nil); err == nil {
+		t.Fatal("nil constraint accepted")
+	}
+	out, err := LeafScan(nil, anonmodel.KAnonymity{K: 2})
+	if err != nil || out != nil {
+		t.Fatalf("empty base: %v %v", out, err)
+	}
+	// A base too small for the constraint errors rather than lies.
+	tiny := []anonmodel.Partition{{
+		Box:     attr.PointBox([]float64{1}),
+		Records: []attr.Record{{ID: 1, QI: []float64{1}}},
+	}}
+	if _, err := LeafScan(tiny, anonmodel.KAnonymity{K: 5}); err == nil {
+		t.Fatal("infeasible base accepted")
+	}
+}
+
+func TestVerifyCollusionSafety(t *testing.T) {
+	mk := func(groups ...[]int64) []anonmodel.Partition {
+		var ps []anonmodel.Partition
+		for _, g := range groups {
+			var recs []attr.Record
+			for _, id := range g {
+				recs = append(recs, attr.Record{ID: id, QI: []float64{float64(id)}})
+			}
+			ps = append(ps, anonmodel.Partition{Box: attr.Box{{Lo: 0, Hi: 100}}, Records: recs})
+		}
+		return ps
+	}
+	// Safe: coarse release groups whole fine partitions.
+	fine := mk([]int64{1, 2}, []int64{3, 4}, []int64{5, 6}, []int64{7, 8})
+	coarse := mk([]int64{1, 2, 3, 4}, []int64{5, 6, 7, 8})
+	if err := VerifyCollusionSafety([][]anonmodel.Partition{fine, coarse}, 2); err != nil {
+		t.Fatalf("safe releases rejected: %v", err)
+	}
+	// Unsafe: the second release cuts across the first's groups, so the
+	// intersection isolates single records.
+	crossed := mk([]int64{2, 3}, []int64{4, 5}, []int64{6, 7}, []int64{8, 1})
+	if err := VerifyCollusionSafety([][]anonmodel.Partition{fine, crossed}, 2); err == nil {
+		t.Fatal("crossing releases accepted")
+	}
+	// Degenerate inputs.
+	if err := VerifyCollusionSafety(nil, 5); err != nil {
+		t.Fatal("no releases must be trivially safe")
+	}
+	// A record missing from one release is an inconsistency.
+	short := mk([]int64{1, 2, 3, 4}, []int64{5, 6, 7})
+	if err := VerifyCollusionSafety([][]anonmodel.Partition{fine, short}, 2); err == nil {
+		t.Fatal("release missing a record accepted")
+	}
+	// A record duplicated within one release is an inconsistency.
+	dup := mk([]int64{1, 2, 3, 4}, []int64{4, 5, 6, 7, 8})
+	if err := VerifyCollusionSafety([][]anonmodel.Partition{dup}, 2); err == nil {
+		t.Fatal("duplicated record accepted")
+	}
+}
+
+func TestAnonymizerInterfaces(t *testing.T) {
+	recs := dataset.GeneratePatients(400, 90)
+	s := dataset.PatientsSchema()
+	cons := anonmodel.KAnonymity{K: 8}
+
+	rt, err := NewRTreeAnonymizer(RTreeConfig{Schema: s, Constraint: cons})
+	if err != nil {
+		t.Fatal(err)
+	}
+	anonymizers := []Anonymizer{
+		rt,
+		&MondrianAnonymizer{Schema: s, Constraint: cons},
+		&MondrianAnonymizer{Schema: s, Constraint: cons, Relaxed: true, Compact: true},
+		&SFCAnonymizer{Constraint: cons},
+		&GridAnonymizer{Schema: s, Constraint: cons},
+		&GridAnonymizer{Schema: s, Constraint: cons, Compact: true},
+		&QuadAnonymizer{Schema: s, Constraint: cons},
+	}
+	names := map[string]bool{}
+	for _, a := range anonymizers {
+		cp := make([]attr.Record, len(recs))
+		copy(cp, recs)
+		ps, err := a.Anonymize(cp)
+		if err != nil {
+			t.Fatalf("%s: %v", a.Name(), err)
+		}
+		if err := anonmodel.CheckAnonymity(ps, cons); err != nil {
+			t.Fatalf("%s: %v", a.Name(), err)
+		}
+		if anonmodel.TotalRecords(ps) != 400 {
+			t.Fatalf("%s: lost records", a.Name())
+		}
+		if names[a.Name()] {
+			t.Fatalf("duplicate anonymizer name %q", a.Name())
+		}
+		names[a.Name()] = true
+	}
+	if !names["rtree"] || !names["mondrian"] || !names["mondrian-relaxed+compact"] ||
+		!names["sfc-z-order"] || !names["gridfile"] || !names["gridfile+compact"] ||
+		!names["quadtree"] {
+		t.Fatalf("unexpected names: %v", names)
+	}
+}
+
+func TestQuadAnonymizer(t *testing.T) {
+	s := dataset.PatientsSchema()
+	cons := anonmodel.LDiversity{K: 6, L: 3}
+	q := &QuadAnonymizer{Schema: s, Constraint: cons, SplitAxes: []int{0, 2}}
+	recs := dataset.GeneratePatients(1200, 77)
+	ps, err := q.Anonymize(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := anonmodel.CheckAnonymity(ps, cons); err != nil {
+		t.Fatal(err)
+	}
+	if anonmodel.TotalRecords(ps) != 1200 {
+		t.Fatal("lost records")
+	}
+	if q.Tree() == nil || q.Tree().Len() != 1200 {
+		t.Fatal("tree not exposed")
+	}
+	if err := q.Tree().CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Degenerate inputs.
+	if _, err := (&QuadAnonymizer{Schema: s}).Anonymize(recs); err == nil {
+		t.Fatal("nil constraint accepted")
+	}
+	ps, err = (&QuadAnonymizer{Schema: s, Constraint: cons}).Anonymize(nil)
+	if err != nil || ps != nil {
+		t.Fatalf("empty input: %v %v", ps, err)
+	}
+}
+
+// TestBPTreeAnonymizerFigure1 replays the paper's introduction: a
+// B⁺-tree on Age over the Figure 1(a) patient table yields a valid
+// 2-anonymous table whose Age ranges are compact intervals.
+func TestBPTreeAnonymizerFigure1(t *testing.T) {
+	s := dataset.PatientsSchema()
+	// Figure 1(a): R1..R6.
+	recs := []attr.Record{
+		{ID: 1, QI: []float64{21, 0, 53706}, Sensitive: "anemia"},
+		{ID: 2, QI: []float64{26, 0, 53706}, Sensitive: "flu"},
+		{ID: 3, QI: []float64{32, 1, 53710}, Sensitive: "cancer"},
+		{ID: 4, QI: []float64{36, 1, 53715}, Sensitive: "torn acl"},
+		{ID: 5, QI: []float64{48, 0, 52108}, Sensitive: "flu"},
+		{ID: 6, QI: []float64{56, 1, 52100}, Sensitive: "whiplash"},
+	}
+	cons := anonmodel.KAnonymity{K: 2}
+	bp := &BPTreeAnonymizer{Schema: s, Constraint: cons, Key: 0}
+	ps, err := bp.Anonymize(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := anonmodel.CheckAnonymity(ps, cons); err != nil {
+		t.Fatal(err)
+	}
+	if anonmodel.TotalRecords(ps) != 6 {
+		t.Fatal("lost records")
+	}
+	if bp.Name() != "bptree[0]" {
+		t.Fatalf("Name = %q", bp.Name())
+	}
+	if bp.Tree() == nil || bp.Tree().Len() != 6 {
+		t.Fatal("tree not exposed")
+	}
+	// Age groups must be contiguous runs of the sorted ages — the
+	// defining property of the B+-tree grouping in Figure 1(c).
+	for i := 1; i < len(ps); i++ {
+		if ps[i].Box[0].Lo < ps[i-1].Box[0].Hi {
+			t.Fatalf("age groups overlap: %v then %v", ps[i-1].Box[0], ps[i].Box[0])
+		}
+	}
+	// R1 and R2 (ages 21, 26) must share a partition: with k=2 no valid
+	// contiguous grouping separates them without isolating one.
+	for _, p := range ps {
+		has1, has2 := false, false
+		for _, r := range p.Records {
+			if r.ID == 1 {
+				has1 = true
+			}
+			if r.ID == 2 {
+				has2 = true
+			}
+		}
+		if has1 != has2 {
+			t.Fatal("R1 and R2 separated")
+		}
+	}
+	// Degenerate inputs.
+	if _, err := (&BPTreeAnonymizer{Schema: s}).Anonymize(recs); err == nil {
+		t.Fatal("nil constraint accepted")
+	}
+	out, err := (&BPTreeAnonymizer{Schema: s, Constraint: cons}).Anonymize(nil)
+	if err != nil || out != nil {
+		t.Fatalf("empty input: %v %v", out, err)
+	}
+	if _, err := (&BPTreeAnonymizer{Schema: s, Constraint: cons, Key: 9}).Anonymize(recs); err == nil {
+		t.Fatal("bad key accepted")
+	}
+}
+
+// Property (testing/quick): for random base partition size sequences
+// and random k1, leaf scan emits groups that (a) are unions of whole
+// base partitions in order, (b) all satisfy k1, and (c) preserve every
+// record exactly once.
+func TestQuickLeafScanProperties(t *testing.T) {
+	f := func(sizes []uint8, kRaw uint8) bool {
+		k1 := int(kRaw%20) + 1
+		var base []anonmodel.Partition
+		id := int64(0)
+		total := 0
+		for i, s := range sizes {
+			n := int(s%7) + 1 // partitions of 1..7 records
+			var recs []attr.Record
+			for j := 0; j < n; j++ {
+				recs = append(recs, attr.Record{ID: id, QI: []float64{float64(i), float64(j)}})
+				id++
+			}
+			total += n
+			box := attr.NewBox(2)
+			for _, r := range recs {
+				box.Include(r.QI)
+			}
+			base = append(base, anonmodel.Partition{Box: box, Records: recs})
+		}
+		out, err := LeafScan(base, anonmodel.KAnonymity{K: k1})
+		if total < k1 {
+			// Infeasible input must error (or be empty input).
+			return err != nil || (total == 0 && out == nil)
+		}
+		if err != nil {
+			return false
+		}
+		// All groups satisfy k1 and records are preserved in order.
+		seen := int64(0)
+		for _, p := range out {
+			if p.Size() < k1 {
+				return false
+			}
+			for _, r := range p.Records {
+				if r.ID != seen { // whole partitions, in order
+					return false
+				}
+				seen++
+			}
+		}
+		return seen == id
+	}
+	cfg := &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(404))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"spatialanon/internal/anonmodel"
+	"spatialanon/internal/attr"
+	"spatialanon/internal/dataset"
+)
+
+// figure1Partitions reproduces the paper's Figure 1(b): three partitions
+// of the patient table.
+func figure1Partitions() []anonmodel.Partition {
+	return []anonmodel.Partition{
+		{
+			Box: attr.Box{{Lo: 20, Hi: 30}, {Lo: 0, Hi: 0}, {Lo: 53706, Hi: 53706}},
+			Records: []attr.Record{
+				{ID: 1, QI: []float64{21, 0, 53706}, Sensitive: "anemia"},
+				{ID: 2, QI: []float64{26, 0, 53706}, Sensitive: "flu"},
+			},
+		},
+		{
+			Box: attr.Box{{Lo: 30, Hi: 40}, {Lo: 1, Hi: 1}, {Lo: 53710, Hi: 53715}},
+			Records: []attr.Record{
+				{ID: 3, QI: []float64{32, 1, 53710}, Sensitive: "cancer"},
+				{ID: 4, QI: []float64{36, 1, 53715}, Sensitive: "torn acl"},
+			},
+		},
+		{
+			Box: attr.Box{{Lo: 45, Hi: 60}, {Lo: 0, Hi: 1}, {Lo: 52100, Hi: 52108}},
+			Records: []attr.Record{
+				{ID: 5, QI: []float64{48, 0, 52108}, Sensitive: "flu"},
+				{ID: 6, QI: []float64{56, 1, 52100}, Sensitive: "whiplash"},
+			},
+		},
+	}
+}
+
+func TestRenderFigure1(t *testing.T) {
+	s := dataset.PatientsSchema() // sex carries the flat M/F hierarchy
+	header, rows, err := Render(s, figure1Partitions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(header, ",") != "age,sex,zipcode,ailment" {
+		t.Fatalf("header %v", header)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	// Row for R1: [20 - 30], M, 53706, anemia.
+	if got := strings.Join(rows[0], "|"); got != "[20 - 30]|M|53706|anemia" {
+		t.Fatalf("row 1 = %q", got)
+	}
+	// Row for R5: sex generalized across M and F renders the hierarchy
+	// root "*", exactly as Figure 1(b).
+	if got := strings.Join(rows[4], "|"); got != "[45 - 60]|*|[52100 - 52108]|flu" {
+		t.Fatalf("row 5 = %q", got)
+	}
+	// Rows are ordered by record ID.
+	if rows[2][3] != "cancer" || rows[5][3] != "whiplash" {
+		t.Fatalf("row order wrong: %v", rows)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	s := dataset.PatientsSchema()
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, s, figure1Partitions()); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 7 {
+		t.Fatalf("%d CSV lines", len(lines))
+	}
+	if lines[0] != "age,sex,zipcode,ailment" {
+		t.Fatalf("CSV header %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "[20 - 30]") {
+		t.Fatalf("CSV row %q", lines[1])
+	}
+}
+
+func TestRenderNoSensitive(t *testing.T) {
+	s := dataset.LandsEndSchema()
+	recs := dataset.GenerateLandsEnd(20, 99)
+	ps := []anonmodel.Partition{{Box: attr.DomainOf(8, recs), Records: recs}}
+	header, rows, err := Render(s, ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(header) != 8 {
+		t.Fatalf("header %v", header)
+	}
+	if len(rows) != 20 || len(rows[0]) != 8 {
+		t.Fatalf("rows %dx%d", len(rows), len(rows[0]))
+	}
+}
+
+func TestRenderEndToEnd(t *testing.T) {
+	// Full pipeline: anonymize patients with the index, render, check
+	// that every original value is covered by its rendered range.
+	a := newPatientRT(t, 5, false)
+	recs := dataset.GeneratePatients(200, 100)
+	if err := a.Load(recs); err != nil {
+		t.Fatal(err)
+	}
+	ps, err := a.Partitions(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, rows, err := Render(dataset.PatientsSchema(), ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 200 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	// Rows are ID-ordered, so row i belongs to record with the i-th
+	// smallest ID == recs[i] (IDs are 0..199 here).
+	for i, r := range recs {
+		sexCell := rows[i][1]
+		switch sexCell {
+		case "M":
+			if r.QI[1] != 0 {
+				t.Fatalf("row %d rendered M for sex=%v", i, r.QI[1])
+			}
+		case "F":
+			if r.QI[1] != 1 {
+				t.Fatalf("row %d rendered F for sex=%v", i, r.QI[1])
+			}
+		case "*":
+			// any value allowed
+		default:
+			t.Fatalf("row %d: unexpected sex cell %q", i, sexCell)
+		}
+	}
+}

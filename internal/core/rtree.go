@@ -1,0 +1,268 @@
+package core
+
+import (
+	"fmt"
+
+	"spatialanon/internal/anonmodel"
+	"spatialanon/internal/attr"
+	"spatialanon/internal/rplustree"
+)
+
+// RTreeConfig parameterizes the index-based anonymizer.
+type RTreeConfig struct {
+	// Schema of the quasi-identifier attributes. Required.
+	Schema *attr.Schema
+	// Constraint is the definition of an allowable partition. Defaults
+	// to KAnonymity{K: BaseK}; if it is richer than plain k-anonymity a
+	// split guard is installed so leaves never split into violating
+	// halves (Section 6).
+	Constraint anonmodel.Constraint
+	// BaseK is the index's base anonymity parameter (leaf minimum
+	// occupancy). Zero derives it from Constraint.MinSize(); Section
+	// 5.1 builds with base k=5 and leaf-scans to every published k.
+	BaseK int
+	// LeafFactor, NodeCapacity and Split pass through to the index.
+	LeafFactor   int
+	NodeCapacity int
+	Split        rplustree.SplitPolicy
+	// BulkLoad, when non-nil, makes Load use buffer-tree bulk loading
+	// with this configuration; nil loads tuple-at-a-time.
+	BulkLoad *rplustree.BulkLoadConfig
+}
+
+// RTreeAnonymizer is the paper's system: a spatial index whose leaves
+// are the anonymization. It supports bulk loading, incremental
+// maintenance, granularity derivation and multi-granular release.
+type RTreeAnonymizer struct {
+	cfg        RTreeConfig
+	constraint anonmodel.Constraint
+	tree       *rplustree.Tree
+	loader     *rplustree.BulkLoader
+}
+
+// NewRTreeAnonymizer builds an empty anonymizing index.
+func NewRTreeAnonymizer(cfg RTreeConfig) (*RTreeAnonymizer, error) {
+	if cfg.Schema == nil {
+		return nil, fmt.Errorf("core: nil schema")
+	}
+	constraint := cfg.Constraint
+	baseK := cfg.BaseK
+	switch {
+	case constraint == nil && baseK == 0:
+		return nil, fmt.Errorf("core: need a Constraint or a BaseK")
+	case constraint == nil:
+		constraint = anonmodel.KAnonymity{K: baseK}
+	case baseK == 0:
+		baseK = constraint.MinSize()
+	}
+	if baseK < constraint.MinSize() {
+		return nil, fmt.Errorf("core: BaseK %d below constraint minimum %d", baseK, constraint.MinSize())
+	}
+	tcfg := rplustree.Config{
+		Schema:       cfg.Schema,
+		BaseK:        baseK,
+		LeafFactor:   cfg.LeafFactor,
+		NodeCapacity: cfg.NodeCapacity,
+		Split:        cfg.Split,
+	}
+	if _, plainK := constraint.(anonmodel.KAnonymity); !plainK {
+		c := constraint
+		tcfg.Guard = func(left, right []attr.Record) bool {
+			return c.Satisfied(left) && c.Satisfied(right)
+		}
+	}
+	tree, err := rplustree.New(tcfg)
+	if err != nil {
+		return nil, err
+	}
+	a := &RTreeAnonymizer{cfg: cfg, constraint: constraint, tree: tree}
+	if cfg.BulkLoad != nil {
+		loader, err := rplustree.NewBulkLoader(tree, *cfg.BulkLoad)
+		if err != nil {
+			return nil, err
+		}
+		a.loader = loader
+	}
+	return a, nil
+}
+
+// Name implements Anonymizer.
+func (a *RTreeAnonymizer) Name() string {
+	if a.cfg.BulkLoad != nil {
+		return "rtree-buffer"
+	}
+	return "rtree"
+}
+
+// Tree exposes the underlying index (read-mostly: for queries, level
+// inspection and invariant checks).
+func (a *RTreeAnonymizer) Tree() *rplustree.Tree { return a.tree }
+
+// Constraint returns the installed allowable-partition definition.
+func (a *RTreeAnonymizer) Constraint() anonmodel.Constraint { return a.constraint }
+
+// Len returns the number of records currently indexed.
+func (a *RTreeAnonymizer) Len() int { return a.tree.Len() }
+
+// Load inserts a batch of records through the configured load path
+// (buffer tree or tuple-at-a-time) and leaves the index query-ready.
+// It may be called repeatedly — each call is one incremental batch of
+// the Section 2.2 / Figure 7(b) regime.
+func (a *RTreeAnonymizer) Load(recs []attr.Record) error {
+	if a.loader != nil {
+		if err := a.loader.InsertBatch(recs); err != nil {
+			return err
+		}
+		return a.loader.Flush()
+	}
+	for _, r := range recs {
+		if err := a.tree.Insert(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadBuffered inserts a batch through the buffer tree without forcing
+// the buffers down to the leaves. Use it to stream a large data set in
+// pieces — the whole point of buffer-tree loading is that records
+// descend lazily, a level at a time, as buffers fill — then call Sync
+// once before publishing. Without a bulk loader it behaves like Load.
+func (a *RTreeAnonymizer) LoadBuffered(recs []attr.Record) error {
+	if a.loader == nil {
+		return a.Load(recs)
+	}
+	return a.loader.InsertBatch(recs)
+}
+
+// Sync forces every buffered record into the leaves, making the index
+// consistent for Partitions, queries and level views.
+func (a *RTreeAnonymizer) Sync() error {
+	if a.loader == nil {
+		return nil
+	}
+	return a.loader.Flush()
+}
+
+// Insert adds one record (tuple-at-a-time maintenance).
+func (a *RTreeAnonymizer) Insert(rec attr.Record) error {
+	if a.loader != nil {
+		if err := a.loader.Insert(rec); err != nil {
+			return err
+		}
+		return a.loader.Flush()
+	}
+	return a.tree.Insert(rec)
+}
+
+// Delete removes the record with the given ID at qi.
+func (a *RTreeAnonymizer) Delete(id int64, qi []float64) bool { return a.tree.Delete(id, qi) }
+
+// Update relocates a record.
+func (a *RTreeAnonymizer) Update(id int64, oldQI []float64, rec attr.Record) bool {
+	return a.tree.Update(id, oldQI, rec)
+}
+
+// Anonymize implements Anonymizer: load everything, publish at the base
+// constraint.
+func (a *RTreeAnonymizer) Anonymize(recs []attr.Record) ([]anonmodel.Partition, error) {
+	if err := a.Load(recs); err != nil {
+		return nil, err
+	}
+	return a.Partitions(0)
+}
+
+// Partitions materializes the anonymized table at granularity k1 via
+// the leaf-scan algorithm. k1 == 0 publishes at the base constraint.
+// The published boxes are leaf MBR unions — compacted by construction.
+// Execution time is one scan of the leaves regardless of k1, which is
+// why Figure 7(a) shows flat R⁺-tree times across k.
+//
+// Derivation is two-stage: leaves are first grouped into the base
+// release (every group satisfies the constraint — this also absorbs any
+// underfull leaf that an unbalanced, duplicate-forced split produced),
+// and coarser granularities group whole base partitions. Every record
+// is therefore k-bound (Definition 2) to its base partition in every
+// granularity published from this index state, which is what makes the
+// release set jointly collusion-safe (Lemma 1) even when individual
+// leaves dip below k.
+func (a *RTreeAnonymizer) Partitions(k1 int) ([]anonmodel.Partition, error) {
+	base, err := LeafScan(partitionsFromLeaves(a.tree.Leaves()), a.constraint)
+	if err != nil {
+		return nil, err
+	}
+	if k1 == 0 {
+		return base, nil
+	}
+	if k1 < a.tree.Config().BaseK {
+		return nil, fmt.Errorf("core: granularity %d below base k %d", k1, a.tree.Config().BaseK)
+	}
+	return LeafScan(base, anonmodel.All{a.constraint, anonmodel.KAnonymity{K: k1}})
+}
+
+// HierarchicalRelease materializes the anonymized table from tree level
+// `level` (0 = leaves) per the Section 3.1 hierarchical algorithm: each
+// level-i node becomes one partition holding all records beneath it.
+func (a *RTreeAnonymizer) HierarchicalRelease(level int) ([]anonmodel.Partition, error) {
+	views, err := a.tree.Level(level)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]anonmodel.Partition, 0, len(views))
+	for _, v := range views {
+		p := anonmodel.Partition{Box: v.MBR.Clone()}
+		for _, l := range v.Leaves {
+			p.Records = append(p.Records, l.Records...)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// MultiGranular derives one release per requested granularity via leaf
+// scan over the same index. The releases are jointly collusion-safe
+// (Lemma 1) because every partition of every release is a union of
+// whole leaves; VerifyCollusionSafety confirms it.
+func (a *RTreeAnonymizer) MultiGranular(ks []int) ([]Release, error) {
+	out := make([]Release, 0, len(ks))
+	for _, k := range ks {
+		ps, err := a.Partitions(k)
+		if err != nil {
+			return nil, fmt.Errorf("core: granularity %d: %w", k, err)
+		}
+		out = append(out, Release{Granularity: k, Partitions: ps})
+	}
+	return out, nil
+}
+
+// HierarchicalReleases derives one release per tree level — the
+// automatic k, lk, l²k, ... sequence of Section 3.1. Level 0 (leaves)
+// comes first. The root level (a single all-records partition) is
+// included last; callers wanting non-trivial releases can drop it.
+func (a *RTreeAnonymizer) HierarchicalReleases() ([]Release, error) {
+	out := make([]Release, 0, a.tree.Height())
+	for lvl := 0; lvl < a.tree.Height(); lvl++ {
+		ps, err := a.HierarchicalRelease(lvl)
+		if err != nil {
+			return nil, err
+		}
+		min := 0
+		for i, p := range ps {
+			if i == 0 || p.Size() < min {
+				min = p.Size()
+			}
+		}
+		out = append(out, Release{Granularity: min, Partitions: ps})
+	}
+	return out, nil
+}
+
+// IOStats returns the bulk loader's I/O counters, or zeros when loading
+// tuple-at-a-time.
+func (a *RTreeAnonymizer) IOStats() (reads, writes int64) {
+	if a.loader == nil {
+		return 0, 0
+	}
+	s := a.loader.Stats()
+	return s.Reads, s.Writes
+}

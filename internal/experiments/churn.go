@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"io"
+
+	"spatialanon/internal/anonmodel"
+	"spatialanon/internal/attr"
+	"spatialanon/internal/dataset"
+	"spatialanon/internal/quality"
+)
+
+// ExtChurn is an extension experiment beyond the paper's evaluation:
+// Section 2.2 argues the index supports "insertions, deletions and
+// updates", but Figures 7(b)/11 only exercise insert-only growth. This
+// experiment subjects the live index to sustained churn — every round
+// deletes a batch of old records and inserts a batch of new ones — and
+// tracks the published view's quality and validity. The question it
+// answers: does the anonymization *degrade* under turnover (MBRs only
+// ever grew under inserts; deletions must tighten them), or does
+// quality stay at bulk-build levels?
+
+// ExtChurnRow is one churn round's measurement.
+type ExtChurnRow struct {
+	Round      int
+	Live       int
+	Partitions int
+	Certainty  float64
+	// RebuildCertainty is the certainty of a fresh bulk build over the
+	// same live set — the "no-churn" reference.
+	RebuildCertainty float64
+}
+
+// ExtChurnResult is the whole experiment.
+type ExtChurnResult struct {
+	K    int
+	Rows []ExtChurnRow
+}
+
+// ExtChurn runs `rounds` churn rounds of `batch` deletes + `batch`
+// inserts over an initial population of cfg.Records.
+func ExtChurn(cfg Config, rounds, batch int) (*ExtChurnResult, error) {
+	cfg = cfg.withDefaults()
+	const k = 10
+	schema := dataset.LandsEndSchema()
+
+	rt, err := cfg.newRTree(false)
+	if err != nil {
+		return nil, err
+	}
+	initial := dataset.GenerateLandsEnd(cfg.Records, cfg.Seed)
+	if err := rt.Load(initial); err != nil {
+		return nil, err
+	}
+	live := append([]attr.Record(nil), initial...)
+	fresh := dataset.LandsEndStream(rounds*batch, cfg.Seed+1)
+	nextID := int64(10_000_000)
+
+	res := &ExtChurnResult{K: k}
+	for round := 1; round <= rounds; round++ {
+		// Delete the oldest batch...
+		if batch > len(live) {
+			batch = len(live)
+		}
+		for _, r := range live[:batch] {
+			if !rt.Delete(r.ID, r.QI) {
+				return nil, errDeleteFailed(r.ID)
+			}
+		}
+		live = live[batch:]
+		// ...and insert a fresh one.
+		incoming := fresh.NextBatch(batch)
+		for i := range incoming {
+			incoming[i].ID = nextID
+			nextID++
+			if err := rt.Insert(incoming[i]); err != nil {
+				return nil, err
+			}
+		}
+		live = append(live, incoming...)
+
+		view, err := rt.Partitions(k)
+		if err != nil {
+			return nil, err
+		}
+		if err := anonmodel.CheckAnonymity(view, anonmodel.KAnonymity{K: k}); err != nil {
+			return nil, err
+		}
+		domain := attr.DomainOf(schema.Dims(), live)
+
+		// No-churn reference: bulk-build the same live set.
+		ref, err := cfg.newRTree(false)
+		if err != nil {
+			return nil, err
+		}
+		cp := make([]attr.Record, len(live))
+		copy(cp, live)
+		if err := ref.Load(cp); err != nil {
+			return nil, err
+		}
+		refView, err := ref.Partitions(k)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, ExtChurnRow{
+			Round:            round,
+			Live:             len(live),
+			Partitions:       len(view),
+			Certainty:        quality.Certainty(schema, view, domain),
+			RebuildCertainty: quality.Certainty(schema, refView, domain),
+		})
+	}
+	return res, nil
+}
+
+type errDeleteFailed int64
+
+func (e errDeleteFailed) Error() string { return "experiments: delete of live record failed" }
+
+// Print renders the experiment as a table.
+func (r *ExtChurnResult) Print(w io.Writer) {
+	fprintf(w, "Extension: quality under churn (delete+insert rounds, k=%d)\n", r.K)
+	fprintf(w, "%7s %8s %10s %12s %14s %8s\n", "round", "live", "parts", "churned CM", "rebuilt CM", "ratio")
+	for _, row := range r.Rows {
+		ratio := 0.0
+		if row.RebuildCertainty > 0 {
+			ratio = row.Certainty / row.RebuildCertainty
+		}
+		fprintf(w, "%7d %8d %10d %12.1f %14.1f %7.2fx\n",
+			row.Round, row.Live, row.Partitions, row.Certainty, row.RebuildCertainty, ratio)
+	}
+}

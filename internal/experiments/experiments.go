@@ -1,0 +1,127 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (Section 5). Each FigNN function sets up the corresponding
+// workload, runs the systems under comparison, and returns structured
+// rows; each result type knows how to print itself in the shape of the
+// paper's plot. cmd/experiments exposes them on the command line and
+// the repository-root benchmarks time their heavy parts.
+//
+// Scale note: the paper ran the Lands End data set (4.59M records) and
+// a 100M-record synthetic set on 2007 hardware. Defaults here are
+// scaled down so the full suite runs in CI minutes; every experiment
+// accepts the paper's full sizes through Config. What is reproduced is
+// the *shape* of each result — who wins, by what factor, where the
+// curves bend — as DESIGN.md specifies.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"spatialanon/internal/anonmodel"
+	"spatialanon/internal/attr"
+	"spatialanon/internal/core"
+	"spatialanon/internal/dataset"
+	"spatialanon/internal/rplustree"
+)
+
+// Config parameterizes the experiment suite.
+type Config struct {
+	// Records is the Lands End-like data set size (the paper: 4591581).
+	Records int
+	// Ks are the anonymity levels of Figures 7(a), 10 and 12(a)
+	// (the paper: 5, 10, 25, 50, 100, 250, 500, 1000).
+	Ks []int
+	// BaseK is the R⁺-tree build granularity (the paper: 5).
+	BaseK int
+	// BatchSize is the incremental batch size of Figures 7(b) and 11
+	// (the paper: 500000).
+	BatchSize int
+	// Batches bounds how many incremental batches run.
+	Batches int
+	// Queries is the workload size of Figure 12 (the paper: 1000).
+	Queries int
+	// Seed makes everything reproducible.
+	Seed int64
+}
+
+// Defaults returns a configuration that finishes the whole suite in CI
+// minutes while preserving every shape. The paper's exact values are in
+// the comments on each field of Config.
+func Defaults() Config {
+	return Config{
+		Records:   30000,
+		Ks:        []int{5, 10, 25, 50, 100, 250, 500, 1000},
+		BaseK:     5,
+		BatchSize: 3000,
+		Batches:   8,
+		Queries:   400,
+		Seed:      1,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	d := Defaults()
+	if c.Records == 0 {
+		c.Records = d.Records
+	}
+	if len(c.Ks) == 0 {
+		c.Ks = d.Ks
+	}
+	if c.BaseK == 0 {
+		c.BaseK = d.BaseK
+	}
+	if c.BatchSize == 0 {
+		c.BatchSize = d.BatchSize
+	}
+	if c.Batches == 0 {
+		c.Batches = d.Batches
+	}
+	if c.Queries == 0 {
+		c.Queries = d.Queries
+	}
+	if c.Seed == 0 {
+		c.Seed = d.Seed
+	}
+	return c
+}
+
+// landsEnd materializes the experiment's Lands End-like table.
+func (c Config) landsEnd() []attr.Record {
+	return dataset.GenerateLandsEnd(c.Records, c.Seed)
+}
+
+// newRTree builds the standard R⁺-tree anonymizer for the experiments:
+// base-k index, default (min-margin) splits, tuple loading unless bulk
+// is requested.
+func (c Config) newRTree(bulk bool) (*core.RTreeAnonymizer, error) {
+	cfg := core.RTreeConfig{
+		Schema: dataset.LandsEndSchema(),
+		BaseK:  c.BaseK,
+	}
+	if bulk {
+		cfg.BulkLoad = &rplustree.BulkLoadConfig{RecordBytes: 32}
+	}
+	return core.NewRTreeAnonymizer(cfg)
+}
+
+// mondrian builds the top-down baseline at anonymity k.
+func (c Config) mondrian(k int) *core.MondrianAnonymizer {
+	return &core.MondrianAnonymizer{
+		Schema:     dataset.LandsEndSchema(),
+		Constraint: anonmodel.KAnonymity{K: k},
+	}
+}
+
+// timeIt measures one function call.
+func timeIt(f func() error) (time.Duration, error) {
+	start := time.Now()
+	err := f()
+	return time.Since(start), err
+}
+
+// fprintf is fmt.Fprintf with the error ignored — the printers write to
+// in-memory or stdout writers where errors are not actionable.
+func fprintf(w io.Writer, format string, args ...any) {
+	fmt.Fprintf(w, format, args...)
+}

@@ -1,0 +1,233 @@
+// Package pager is a simulated paged storage manager: a byte-addressable
+// "disk" of fixed-size pages fronted by an LRU buffer pool with a hard
+// memory budget, pin/unpin semantics, dirty-page write-back, and explicit
+// I/O statistics.
+//
+// The paper's scalability experiments (Figure 8) report *counts of
+// explicit I/O system calls* while varying the memory allotted to the
+// anonymization process. A counting pager reproduces exactly that
+// quantity — deterministically, independent of the host machine — which
+// is why the buffer-tree bulk loader (internal/buffertree) stores its
+// node pages and buffer-spill pages here rather than in plain Go heap
+// memory.
+package pager
+
+import (
+	"container/list"
+	"fmt"
+)
+
+// PageID names one page of the simulated disk. Zero is never a valid ID.
+type PageID int64
+
+// Stats counts the explicit I/O operations the pager has performed.
+// Reads and Writes are page transfers between the buffer pool and the
+// simulated disk; Allocs counts pages ever allocated; Hits counts buffer
+// pool hits that avoided a read.
+type Stats struct {
+	Reads  int64
+	Writes int64
+	Allocs int64
+	Frees  int64
+	Hits   int64
+}
+
+// IO returns total page transfers (reads + writes) — the y-axis of
+// Figure 8(b).
+func (s Stats) IO() int64 { return s.Reads + s.Writes }
+
+type frame struct {
+	id    PageID
+	data  []byte
+	dirty bool
+	pins  int
+	elem  *list.Element
+}
+
+// Pager is the storage manager. It is not safe for concurrent use; the
+// anonymization pipeline is single-threaded, as was the paper's.
+type Pager struct {
+	pageSize  int
+	poolPages int
+
+	disk   map[PageID][]byte
+	frames map[PageID]*frame
+	lru    *list.List // front = most recently used; holds *frame
+	nextID PageID
+	stats  Stats
+}
+
+// New returns a pager with the given page size in bytes and a buffer
+// pool of poolPages pages. poolPages must be at least 1.
+func New(pageSize, poolPages int) *Pager {
+	if pageSize <= 0 {
+		panic(fmt.Sprintf("pager: page size %d", pageSize))
+	}
+	if poolPages < 1 {
+		panic(fmt.Sprintf("pager: pool of %d pages", poolPages))
+	}
+	return &Pager{
+		pageSize:  pageSize,
+		poolPages: poolPages,
+		disk:      make(map[PageID][]byte),
+		frames:    make(map[PageID]*frame),
+		lru:       list.New(),
+	}
+}
+
+// PageSize returns the page size in bytes.
+func (p *Pager) PageSize() int { return p.pageSize }
+
+// PoolPages returns the buffer pool capacity in pages.
+func (p *Pager) PoolPages() int { return p.poolPages }
+
+// Stats returns a snapshot of the I/O counters.
+func (p *Pager) Stats() Stats { return p.stats }
+
+// ResetStats zeroes the I/O counters (page contents are untouched). The
+// experiment harness calls this between measurement phases.
+func (p *Pager) ResetStats() { p.stats = Stats{} }
+
+// Alloc creates a new zeroed page, resident in the pool and pinned once.
+// The caller must Unpin it when done mutating.
+func (p *Pager) Alloc() (PageID, []byte, error) {
+	p.nextID++
+	id := p.nextID
+	p.stats.Allocs++
+	f, err := p.install(id, make([]byte, p.pageSize))
+	if err != nil {
+		return 0, nil, err
+	}
+	f.dirty = true // a fresh page must reach "disk" eventually
+	f.pins++
+	return id, f.data, nil
+}
+
+// Read pins the page into the pool and returns its contents. Mutations of
+// the returned slice are only persisted if the caller also calls
+// MarkDirty before Unpin.
+func (p *Pager) Read(id PageID) ([]byte, error) {
+	f, err := p.fetch(id)
+	if err != nil {
+		return nil, err
+	}
+	f.pins++
+	return f.data, nil
+}
+
+// MarkDirty records that the page's pooled contents differ from disk.
+func (p *Pager) MarkDirty(id PageID) error {
+	f, ok := p.frames[id]
+	if !ok {
+		return fmt.Errorf("pager: MarkDirty of non-resident page %d", id)
+	}
+	f.dirty = true
+	return nil
+}
+
+// Unpin releases one pin on the page, making it evictable when the count
+// reaches zero.
+func (p *Pager) Unpin(id PageID) error {
+	f, ok := p.frames[id]
+	if !ok {
+		return fmt.Errorf("pager: Unpin of non-resident page %d", id)
+	}
+	if f.pins == 0 {
+		return fmt.Errorf("pager: Unpin of unpinned page %d", id)
+	}
+	f.pins--
+	return nil
+}
+
+// Free releases a page entirely: it is dropped from the pool (without
+// write-back) and from the disk. Freeing a pinned page is an error.
+func (p *Pager) Free(id PageID) error {
+	if f, ok := p.frames[id]; ok {
+		if f.pins > 0 {
+			return fmt.Errorf("pager: Free of pinned page %d", id)
+		}
+		p.lru.Remove(f.elem)
+		delete(p.frames, id)
+	}
+	if _, ok := p.disk[id]; ok {
+		delete(p.disk, id)
+		p.stats.Frees++
+		return nil
+	}
+	// Page may be resident-only (never written back) — that is still a
+	// legitimate free as long as it was allocated.
+	p.stats.Frees++
+	return nil
+}
+
+// Flush writes every dirty pooled page back to disk.
+func (p *Pager) Flush() {
+	for _, f := range p.frames {
+		if f.dirty {
+			p.writeBack(f)
+		}
+	}
+}
+
+// Resident reports whether the page is currently in the buffer pool.
+func (p *Pager) Resident(id PageID) bool {
+	_, ok := p.frames[id]
+	return ok
+}
+
+// fetch returns the frame for id, reading it from disk if necessary and
+// evicting an unpinned page if the pool is full.
+func (p *Pager) fetch(id PageID) (*frame, error) {
+	if f, ok := p.frames[id]; ok {
+		p.stats.Hits++
+		p.lru.MoveToFront(f.elem)
+		return f, nil
+	}
+	data, ok := p.disk[id]
+	if !ok {
+		return nil, fmt.Errorf("pager: read of unknown page %d", id)
+	}
+	p.stats.Reads++
+	buf := make([]byte, p.pageSize)
+	copy(buf, data)
+	return p.install(id, buf)
+}
+
+// install places data in the pool under id, evicting if needed.
+func (p *Pager) install(id PageID, data []byte) (*frame, error) {
+	for len(p.frames) >= p.poolPages {
+		if err := p.evictOne(); err != nil {
+			return nil, err
+		}
+	}
+	f := &frame{id: id, data: data}
+	f.elem = p.lru.PushFront(f)
+	p.frames[id] = f
+	return f, nil
+}
+
+// evictOne removes the least recently used unpinned page, writing it back
+// if dirty.
+func (p *Pager) evictOne() error {
+	for e := p.lru.Back(); e != nil; e = e.Prev() {
+		f := e.Value.(*frame)
+		if f.pins > 0 {
+			continue
+		}
+		if f.dirty {
+			p.writeBack(f)
+		}
+		p.lru.Remove(f.elem)
+		delete(p.frames, f.id)
+		return nil
+	}
+	return fmt.Errorf("pager: buffer pool of %d pages exhausted by pinned pages", p.poolPages)
+}
+
+func (p *Pager) writeBack(f *frame) {
+	p.stats.Writes++
+	buf := make([]byte, p.pageSize)
+	copy(buf, f.data)
+	p.disk[f.id] = buf
+	f.dirty = false
+}

@@ -1,0 +1,286 @@
+package pager
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"testing"
+)
+
+func TestAllocReadRoundTrip(t *testing.T) {
+	p := New(64, 4)
+	id, data, err := p.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != 64 {
+		t.Fatalf("page size %d", len(data))
+	}
+	copy(data, []byte("hello"))
+	if err := p.MarkDirty(id); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Unpin(id); err != nil {
+		t.Fatal(err)
+	}
+	got, err := p.Read(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got[:5]) != "hello" {
+		t.Fatalf("page contents %q", got[:5])
+	}
+	if err := p.Unpin(id); err != nil {
+		t.Fatal(err)
+	}
+	// Still resident: no disk reads should have happened.
+	if s := p.Stats(); s.Reads != 0 || s.Allocs != 1 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestEvictionWritesBackAndReloads(t *testing.T) {
+	p := New(16, 2)
+	var ids []PageID
+	for i := 0; i < 5; i++ {
+		id, data, err := p.Alloc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		binary.LittleEndian.PutUint64(data, uint64(i+100))
+		if err := p.Unpin(id); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	// Pool holds 2 pages; 3 allocations must have evicted dirty pages.
+	if w := p.Stats().Writes; w < 3 {
+		t.Fatalf("expected >=3 write-backs, got %d", w)
+	}
+	for i, id := range ids {
+		data, err := p.Read(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := binary.LittleEndian.Uint64(data); got != uint64(i+100) {
+			t.Fatalf("page %d contents %d, want %d", id, got, i+100)
+		}
+		if err := p.Unpin(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if r := p.Stats().Reads; r < 3 {
+		t.Fatalf("expected re-reads after eviction, got %d", r)
+	}
+}
+
+func TestPinPreventsEviction(t *testing.T) {
+	p := New(16, 2)
+	id1, _, _ := p.Alloc() // stays pinned
+	id2, _, _ := p.Alloc() // stays pinned
+	if _, _, err := p.Alloc(); err == nil {
+		t.Fatal("third alloc should fail: pool exhausted by pins")
+	}
+	p.Unpin(id2)
+	id3, _, err := p.Alloc()
+	if err != nil {
+		t.Fatalf("alloc after unpin: %v", err)
+	}
+	if !p.Resident(id1) {
+		t.Fatal("pinned page was evicted")
+	}
+	if p.Resident(id2) {
+		t.Fatal("unpinned page survived eviction pressure")
+	}
+	p.Unpin(id1)
+	p.Unpin(id3)
+}
+
+func TestUnpinErrors(t *testing.T) {
+	p := New(16, 2)
+	id, _, _ := p.Alloc()
+	p.Unpin(id)
+	if err := p.Unpin(id); err == nil {
+		t.Fatal("double Unpin accepted")
+	}
+	if err := p.Unpin(PageID(999)); err == nil {
+		t.Fatal("Unpin of unknown page accepted")
+	}
+	if err := p.MarkDirty(PageID(999)); err == nil {
+		t.Fatal("MarkDirty of non-resident page accepted")
+	}
+}
+
+func TestReadUnknownPage(t *testing.T) {
+	p := New(16, 2)
+	if _, err := p.Read(PageID(42)); err == nil {
+		t.Fatal("read of unallocated page accepted")
+	}
+}
+
+func TestFree(t *testing.T) {
+	p := New(16, 2)
+	id, _, _ := p.Alloc()
+	if err := p.Free(id); err == nil {
+		t.Fatal("free of pinned page accepted")
+	}
+	p.Unpin(id)
+	if err := p.Free(id); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Read(id); err == nil {
+		t.Fatal("read of freed page accepted")
+	}
+	if p.Stats().Frees != 1 {
+		t.Fatalf("frees = %d", p.Stats().Frees)
+	}
+}
+
+func TestFlush(t *testing.T) {
+	p := New(16, 4)
+	id, data, _ := p.Alloc()
+	copy(data, []byte("x"))
+	p.Unpin(id)
+	before := p.Stats().Writes
+	p.Flush()
+	if p.Stats().Writes != before+1 {
+		t.Fatalf("flush wrote %d pages", p.Stats().Writes-before)
+	}
+	// Second flush: nothing dirty.
+	before = p.Stats().Writes
+	p.Flush()
+	if p.Stats().Writes != before {
+		t.Fatal("flush of clean pool performed writes")
+	}
+}
+
+func TestResetStats(t *testing.T) {
+	p := New(16, 2)
+	id, _, _ := p.Alloc()
+	p.Unpin(id)
+	p.Flush()
+	p.ResetStats()
+	if s := p.Stats(); s != (Stats{}) {
+		t.Fatalf("stats after reset: %+v", s)
+	}
+	// Contents survive a stats reset.
+	if _, err := p.Read(id); err != nil {
+		t.Fatal(err)
+	}
+	p.Unpin(id)
+}
+
+func TestStatsIO(t *testing.T) {
+	s := Stats{Reads: 3, Writes: 4}
+	if s.IO() != 7 {
+		t.Fatalf("IO = %d", s.IO())
+	}
+}
+
+func TestPanicsOnBadConfig(t *testing.T) {
+	for _, f := range []func(){
+		func() { New(0, 1) },
+		func() { New(16, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("bad config accepted")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// Property: under random workloads, data written is always data read
+// back, and I/O never exceeds one read plus one write per access.
+func TestRandomizedWorkload(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	p := New(32, 3)
+	contents := map[PageID]byte{}
+	var ids []PageID
+	accesses := int64(0)
+	for i := 0; i < 2000; i++ {
+		switch op := rng.Intn(10); {
+		case op < 3 || len(ids) == 0:
+			id, data, err := p.Alloc()
+			if err != nil {
+				t.Fatal(err)
+			}
+			b := byte(rng.Intn(256))
+			data[0] = b
+			p.MarkDirty(id)
+			p.Unpin(id)
+			contents[id] = b
+			ids = append(ids, id)
+			accesses++
+		case op < 8: // read and verify
+			id := ids[rng.Intn(len(ids))]
+			data, err := p.Read(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if data[0] != contents[id] {
+				t.Fatalf("page %d holds %d, want %d", id, data[0], contents[id])
+			}
+			p.Unpin(id)
+			accesses++
+		default: // overwrite
+			id := ids[rng.Intn(len(ids))]
+			data, err := p.Read(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b := byte(rng.Intn(256))
+			data[0] = b
+			p.MarkDirty(id)
+			p.Unpin(id)
+			contents[id] = b
+			accesses++
+		}
+	}
+	if got := p.Stats().IO(); got > 2*accesses {
+		t.Fatalf("I/O %d exceeds 2 per access (%d accesses)", got, accesses)
+	}
+}
+
+// Property: a larger pool never performs more I/O on the same trace —
+// the monotonicity Figure 8(b) depends on (LRU has no Belady anomaly).
+func TestPoolSizeMonotonicity(t *testing.T) {
+	trace := func(pool int) int64 {
+		rng := rand.New(rand.NewSource(9))
+		p := New(32, pool)
+		var ids []PageID
+		for i := 0; i < 50; i++ {
+			id, _, _ := p.Alloc()
+			p.Unpin(id)
+			ids = append(ids, id)
+		}
+		for i := 0; i < 3000; i++ {
+			// Skewed access pattern with locality.
+			idx := rng.Intn(len(ids))
+			if rng.Float64() < 0.7 {
+				idx = rng.Intn(10)
+			}
+			data, err := p.Read(ids[idx])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rng.Float64() < 0.3 {
+				data[0]++
+				p.MarkDirty(ids[idx])
+			}
+			p.Unpin(ids[idx])
+		}
+		p.Flush()
+		return p.Stats().IO()
+	}
+	prev := trace(2)
+	for _, pool := range []int{4, 8, 16, 32, 64} {
+		cur := trace(pool)
+		if cur > prev {
+			t.Fatalf("pool %d did more I/O (%d) than smaller pool (%d)", pool, cur, prev)
+		}
+		prev = cur
+	}
+}

@@ -1,0 +1,197 @@
+// Package query implements the query-accuracy experiments of Sections
+// 2.3 and 5.4: random multidimensional COUNT range workloads, their
+// evaluation against original and anonymized tables, the paper's
+// normalized error measure, and selectivity bucketing.
+//
+// Matching semantics follow the paper exactly: on the original table a
+// record matches when its point lies in the query region; on an
+// anonymized table a record matches when its generalized box has a
+// non-null intersection with the query region on every attribute. The
+// uniform-assumption estimator of Section 2.3 is also provided.
+package query
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"spatialanon/internal/anonmodel"
+	"spatialanon/internal/attr"
+)
+
+// FullRangeWorkload generates n queries of the Section 5.4 form: for
+// each query two records are drawn at random and each attribute's range
+// runs from the smaller to the larger of their values. Such a query
+// always contains both seed records, so its original count is >= 1.
+func FullRangeWorkload(recs []attr.Record, n int, seed int64) []attr.Box {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]attr.Box, n)
+	for i := range out {
+		r1 := recs[rng.Intn(len(recs))]
+		r2 := recs[rng.Intn(len(recs))]
+		q := attr.PointBox(r1.QI)
+		q.Include(r2.QI)
+		out[i] = q
+	}
+	return out
+}
+
+// SingleAttrWorkload generates n queries bounding only the given
+// attribute (the Zipcode workload of Figure 12(c)): the bounded range
+// comes from two random records, every other attribute spans the whole
+// domain.
+func SingleAttrWorkload(recs []attr.Record, axis int, n int, seed int64, domain attr.Box) []attr.Box {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]attr.Box, n)
+	for i := range out {
+		v1 := recs[rng.Intn(len(recs))].QI[axis]
+		v2 := recs[rng.Intn(len(recs))].QI[axis]
+		if v1 > v2 {
+			v1, v2 = v2, v1
+		}
+		q := domain.Clone()
+		q[axis] = attr.Interval{Lo: v1, Hi: v2}
+		out[i] = q
+	}
+	return out
+}
+
+// CountOriginal evaluates a COUNT query on the original table.
+func CountOriginal(recs []attr.Record, q attr.Box) int {
+	n := 0
+	for _, r := range recs {
+		if q.Contains(r.QI) {
+			n++
+		}
+	}
+	return n
+}
+
+// CountAnonymized evaluates a COUNT query on an anonymized table: every
+// record of every partition whose box intersects the query matches
+// (the paper's Section 5.4 semantics — "a COUNT query on a partition
+// returns the cardinality of that partition if the query region
+// intersects with the partition").
+func CountAnonymized(ps []anonmodel.Partition, q attr.Box) int {
+	n := 0
+	for _, p := range ps {
+		if p.Box.Intersects(q) {
+			n += p.Size()
+		}
+	}
+	return n
+}
+
+// EstimateUniform evaluates a COUNT query under the Section 2.3
+// uniform-distribution assumption: each intersecting partition
+// contributes |P| x cells(P∩Q)/cells(P), computed on the integer cell
+// lattice (consistent with the KL-divergence metric).
+func EstimateUniform(ps []anonmodel.Partition, q attr.Box) float64 {
+	est := 0.0
+	for _, p := range ps {
+		inter := p.Box.Intersect(q)
+		if inter.IsEmpty() {
+			continue
+		}
+		est += float64(p.Size()) * cells(inter) / cells(p.Box)
+	}
+	return est
+}
+
+func cells(b attr.Box) float64 {
+	c := 1.0
+	for _, iv := range b {
+		w := math.Round(iv.Hi - iv.Lo)
+		if w < 0 {
+			w = 0
+		}
+		c *= w + 1
+	}
+	return c
+}
+
+// Result is one query's evaluation.
+type Result struct {
+	Query      attr.Box
+	Original   int
+	Anonymized int
+	// Err is the paper's normalized error
+	// (count(anonymized)-count(original))/count(original).
+	Err float64
+}
+
+// Evaluate runs every query against both tables. Queries with zero
+// original count (impossible for the generators in this package, which
+// seed queries from real records) are rejected to keep the normalized
+// error well-defined.
+func Evaluate(ps []anonmodel.Partition, recs []attr.Record, queries []attr.Box) ([]Result, error) {
+	out := make([]Result, len(queries))
+	for i, q := range queries {
+		orig := CountOriginal(recs, q)
+		if orig == 0 {
+			return nil, fmt.Errorf("query: query %d has zero original count; normalized error undefined", i)
+		}
+		anon := CountAnonymized(ps, q)
+		out[i] = Result{
+			Query:      q,
+			Original:   orig,
+			Anonymized: anon,
+			Err:        float64(anon-orig) / float64(orig),
+		}
+	}
+	return out, nil
+}
+
+// MeanError averages the normalized errors — the quantity on the y-axis
+// of Figure 12.
+func MeanError(results []Result) float64 {
+	if len(results) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, r := range results {
+		sum += r.Err
+	}
+	return sum / float64(len(results))
+}
+
+// SelectivityBucket is the mean error of all queries whose original
+// result cardinality falls in [Lo, Hi).
+type SelectivityBucket struct {
+	Lo, Hi  float64 // selectivity bounds as a fraction of the table
+	Queries int
+	Mean    float64
+}
+
+// BySelectivity groups results into buckets over selectivity =
+// original/total, with the given ascending boundary fractions (e.g.
+// 0.001, 0.01, 0.1 produces buckets [0,0.001), [0.001,0.01),
+// [0.01,0.1), [0.1,1]). Empty buckets are retained with Queries == 0 so
+// series line up across anonymizers — the Figure 12(b)/(d) x-axis.
+func BySelectivity(results []Result, total int, bounds []float64) []SelectivityBucket {
+	edges := append([]float64{0}, bounds...)
+	edges = append(edges, 1.0000001) // inclusive top edge
+	sort.Float64s(edges)
+	out := make([]SelectivityBucket, len(edges)-1)
+	sums := make([]float64, len(out))
+	for i := range out {
+		out[i] = SelectivityBucket{Lo: edges[i], Hi: edges[i+1]}
+	}
+	for _, r := range results {
+		sel := float64(r.Original) / float64(total)
+		for i := range out {
+			if sel >= out[i].Lo && sel < out[i].Hi {
+				out[i].Queries++
+				sums[i] += r.Err
+				break
+			}
+		}
+	}
+	for i := range out {
+		if out[i].Queries > 0 {
+			out[i].Mean = sums[i] / float64(out[i].Queries)
+		}
+	}
+	return out
+}

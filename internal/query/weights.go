@@ -1,0 +1,65 @@
+package query
+
+import (
+	"spatialanon/internal/attr"
+)
+
+// WeightsFromWorkload derives per-attribute importance weights from an
+// anticipated query workload, operationalizing Section 2.4's
+// suggestion: "taking a cue from [33] that proposes a weighted
+// certainty penalty metric, a spatial index can also incorporate query
+// workloads into its splitting policies by assigning higher weights to
+// the 'more important' quasi-identifier attributes".
+//
+// An attribute matters to a query exactly to the degree the query
+// constrains it: a predicate covering a small fraction of the
+// attribute's domain is highly selective on that attribute, a predicate
+// spanning the whole domain says nothing. Each query therefore
+// contributes (1 - coveredFraction) to each attribute's raw weight.
+// Results are normalized so the weights average 1, making them drop-in
+// values for rplustree.WeightedPolicy or attr.Attribute.Weight without
+// rescaling the certainty metric.
+//
+// An empty workload (or a degenerate domain) yields all-ones.
+func WeightsFromWorkload(queries []attr.Box, domain attr.Box) []float64 {
+	dims := len(domain)
+	weights := make([]float64, dims)
+	for i := range weights {
+		weights[i] = 1
+	}
+	if len(queries) == 0 || dims == 0 {
+		return weights
+	}
+	raw := make([]float64, dims)
+	for _, q := range queries {
+		if len(q) != dims {
+			continue
+		}
+		for d := 0; d < dims; d++ {
+			dw := domain[d].Width()
+			if dw <= 0 {
+				continue
+			}
+			covered := q[d].Intersect(domain[d]).Width() / dw
+			if covered < 0 {
+				covered = 0
+			}
+			if covered > 1 {
+				covered = 1
+			}
+			raw[d] += 1 - covered
+		}
+	}
+	total := 0.0
+	for _, r := range raw {
+		total += r
+	}
+	if total == 0 {
+		return weights // workload constrains nothing
+	}
+	mean := total / float64(dims)
+	for d := range weights {
+		weights[d] = raw[d] / mean
+	}
+	return weights
+}

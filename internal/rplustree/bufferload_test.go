@@ -1,0 +1,249 @@
+package rplustree
+
+import (
+	"sort"
+	"testing"
+
+	"spatialanon/internal/attr"
+	"spatialanon/internal/dataset"
+)
+
+func newLoader(t *testing.T, k int, cfg BulkLoadConfig) (*Tree, *BulkLoader) {
+	t.Helper()
+	tr, err := New(testConfig(k))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bl, err := NewBulkLoader(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr, bl
+}
+
+// smallMem is a tight but workable memory budget for tests: 64 pages of
+// 256 bytes.
+var smallMem = BulkLoadConfig{PageSize: 256, MemoryBytes: 64 * 256, BufferPages: 2, RecordBytes: 16}
+
+func TestBulkLoadMatchesTupleLoad(t *testing.T) {
+	recs := dataset.GeneratePatients(2000, 20)
+
+	tuple, _ := New(testConfig(5))
+	for _, r := range recs {
+		if err := tuple.Insert(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	bulk, bl := newLoader(t, 5, smallMem)
+	if err := bl.InsertBatch(recs); err != nil {
+		t.Fatal(err)
+	}
+	if err := bl.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	if bulk.Len() != tuple.Len() {
+		t.Fatalf("bulk %d records vs tuple %d", bulk.Len(), tuple.Len())
+	}
+	if err := bulk.CheckInvariants(); err != nil {
+		t.Fatalf("bulk tree invariants: %v", err)
+	}
+	// Same record multiset.
+	collect := func(tr *Tree) []int64 {
+		var ids []int64
+		for _, l := range tr.Leaves() {
+			for _, r := range l.Records {
+				ids = append(ids, r.ID)
+			}
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		return ids
+	}
+	bids, tids := collect(bulk), collect(tuple)
+	for i := range bids {
+		if bids[i] != tids[i] {
+			t.Fatalf("record sets differ at %d: %d vs %d", i, bids[i], tids[i])
+		}
+	}
+}
+
+func TestBulkLoadFlushIdempotent(t *testing.T) {
+	_, bl := newLoader(t, 3, smallMem)
+	if err := bl.InsertBatch(dataset.GeneratePatients(500, 21)); err != nil {
+		t.Fatal(err)
+	}
+	if err := bl.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	n := bl.tree.Len()
+	if err := bl.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if bl.tree.Len() != n {
+		t.Fatal("second flush changed the tree")
+	}
+}
+
+func TestBulkLoadIncrementalBatches(t *testing.T) {
+	tr, bl := newLoader(t, 5, smallMem)
+	s := dataset.PatientsStream(3000, 22)
+	total := 0
+	for {
+		batch := s.NextBatch(500)
+		if len(batch) == 0 {
+			break
+		}
+		if err := bl.InsertBatch(batch); err != nil {
+			t.Fatal(err)
+		}
+		if err := bl.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		total += len(batch)
+		if tr.Len() != total {
+			t.Fatalf("after batch: Len %d, want %d", tr.Len(), total)
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestBulkLoadChargesIO(t *testing.T) {
+	// A memory budget far below the data size must force buffer spills
+	// and hence nonzero I/O; a generous budget must do less I/O.
+	run := func(memBytes int) int64 {
+		tr, err := New(testConfig(5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		bl, err := NewBulkLoader(tr, BulkLoadConfig{
+			PageSize: 256, MemoryBytes: memBytes, BufferPages: 2, RecordBytes: 16,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := bl.InsertBatch(dataset.GeneratePatients(4000, 23)); err != nil {
+			t.Fatal(err)
+		}
+		if err := bl.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		return bl.Stats().IO()
+	}
+	tight := run(16 * 256)   // 16 pages
+	roomy := run(4096 * 256) // 4096 pages
+	if tight == 0 {
+		t.Fatal("tight memory budget produced zero I/O")
+	}
+	if roomy >= tight {
+		t.Fatalf("roomy budget did %d I/Os, tight did %d — want roomy < tight", roomy, tight)
+	}
+}
+
+func TestBulkLoaderValidation(t *testing.T) {
+	tr, _ := New(testConfig(3))
+	if _, err := NewBulkLoader(tr, BulkLoadConfig{PageSize: 8, RecordBytes: 16, MemoryBytes: 1024}); err == nil {
+		t.Fatal("page smaller than record accepted")
+	}
+	if _, err := NewBulkLoader(tr, BulkLoadConfig{PageSize: 256, MemoryBytes: 512}); err == nil {
+		t.Fatal("sub-4-page pool accepted")
+	}
+	bl, err := NewBulkLoader(tr, smallMem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewBulkLoader(tr, smallMem); err == nil {
+		t.Fatal("second loader on same tree accepted")
+	}
+	if err := bl.Insert(attr.Record{QI: []float64{1}}); err == nil {
+		t.Fatal("dimension mismatch accepted")
+	}
+	if err := bl.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// After Close a new loader may attach.
+	if _, err := NewBulkLoader(tr, smallMem); err != nil {
+		t.Fatalf("reattach after Close: %v", err)
+	}
+}
+
+func TestBulkThenTupleInserts(t *testing.T) {
+	tr, bl := newLoader(t, 4, smallMem)
+	if err := bl.InsertBatch(dataset.GeneratePatients(1000, 24)); err != nil {
+		t.Fatal(err)
+	}
+	if err := bl.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Tuple-at-a-time updates after the bulk phase (the incremental
+	// maintenance scenario of Section 2.2).
+	extra := dataset.GeneratePatients(200, 25)
+	for i := range extra {
+		extra[i].ID += 10000
+		if err := tr.Insert(extra[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tr.Len() != 1200 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBufferSplitSafetyNet(t *testing.T) {
+	// Force the safety-net path: block records in the root buffer, then
+	// split the root directly via tuple inserts. The blocked records
+	// must survive into the halves' buffers and flush correctly.
+	tr, bl := newLoader(t, 2, smallMem)
+	blocked := dataset.GeneratePatients(3, 26)
+	for i := range blocked {
+		blocked[i].ID += 500
+	}
+	if err := bl.InsertBatch(blocked); err != nil {
+		t.Fatal(err)
+	}
+	// Direct inserts bypass the buffers and split the root leaf.
+	for _, r := range dataset.GeneratePatients(50, 27) {
+		if err := tr.Insert(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := bl.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 53 {
+		t.Fatalf("Len = %d, want 53", tr.Len())
+	}
+	found := 0
+	for _, l := range tr.Leaves() {
+		for _, r := range l.Records {
+			if r.ID >= 500 && r.ID < 600 {
+				found++
+			}
+		}
+	}
+	if found != 3 {
+		t.Fatalf("blocked records surviving: %d of 3", found)
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoaderStatsReset(t *testing.T) {
+	_, bl := newLoader(t, 3, smallMem)
+	if err := bl.InsertBatch(dataset.GeneratePatients(2000, 28)); err != nil {
+		t.Fatal(err)
+	}
+	if err := bl.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	bl.ResetStats()
+	if bl.Stats().IO() != 0 {
+		t.Fatal("stats not reset")
+	}
+}

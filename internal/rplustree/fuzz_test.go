@@ -1,0 +1,70 @@
+package rplustree
+
+import (
+	"testing"
+
+	"spatialanon/internal/attr"
+	"spatialanon/internal/dataset"
+)
+
+// FuzzInsertDeleteInvariants feeds arbitrary byte strings as operation
+// tapes (2 bytes per op: coordinates for an insert, or a delete of the
+// oldest live record) and checks the full structural invariant set
+// afterwards. Runs over the seed corpus as a normal test;
+// `go test -fuzz FuzzInsertDeleteInvariants ./internal/rplustree`
+// explores further.
+func FuzzInsertDeleteInvariants(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add([]byte{0, 0, 0, 0, 0, 0})
+	f.Add([]byte{255, 254, 253, 252, 1, 2, 3, 4, 200, 200, 200, 200})
+	f.Fuzz(func(t *testing.T, tape []byte) {
+		if len(tape) > 4096 {
+			tape = tape[:4096]
+		}
+		tr, err := New(Config{Schema: dataset.PatientsSchema(), BaseK: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var live []attr.Record
+		nextID := int64(0)
+		for i := 0; i+1 < len(tape); i += 2 {
+			a, b := tape[i], tape[i+1]
+			if a%5 == 4 && len(live) > 0 {
+				victim := live[0]
+				live = live[1:]
+				if !tr.Delete(victim.ID, victim.QI) {
+					t.Fatalf("delete of live record %d failed", victim.ID)
+				}
+				continue
+			}
+			r := attr.Record{
+				ID: nextID,
+				QI: []float64{float64(a), float64(b % 2), float64(52000 + int(b)*8)},
+			}
+			nextID++
+			live = append(live, r)
+			if err := tr.Insert(r); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if tr.Len() != len(live) {
+			t.Fatalf("Len %d != live %d", tr.Len(), len(live))
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+		// Every live record findable at its exact point.
+		for _, r := range live {
+			found := false
+			for _, hit := range tr.Search(attr.PointBox(r.QI)) {
+				if hit.ID == r.ID {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("live record %d not found", r.ID)
+			}
+		}
+	})
+}

@@ -1,0 +1,287 @@
+package rplustree
+
+import (
+	"fmt"
+	"math"
+
+	"spatialanon/internal/attr"
+)
+
+// LeafView is a read-only view of one leaf: its tight MBR (the
+// generalized value its records publish under) and the records
+// themselves. The Records slice aliases tree storage; callers must not
+// mutate it.
+type LeafView struct {
+	MBR     attr.Box
+	Records []attr.Record
+}
+
+// NodeView summarizes one node at some level: its MBR, its record count,
+// and the leaves beneath it in order. It backs the hierarchical
+// multi-granular algorithm of Section 3.1, where a level-i node becomes
+// one partition of a coarser release.
+type NodeView struct {
+	MBR    attr.Box
+	Count  int
+	Leaves []LeafView
+}
+
+// Leaves returns every non-empty leaf in trie order. Trie order is the
+// "sequential ordering of nodes on the same tree level" the leaf-scan
+// algorithm of Section 3.2 relies on: adjacent leaves are spatially
+// adjacent, so groups of consecutive leaves form compact partitions.
+func (t *Tree) Leaves() []LeafView {
+	var out []LeafView
+	t.walkLeaves(t.root, func(n *node) {
+		if len(n.recs) > 0 {
+			out = append(out, LeafView{MBR: n.mbr, Records: n.recs})
+		}
+	})
+	return out
+}
+
+// walkLeaves visits leaves under n in trie order.
+func (t *Tree) walkLeaves(n *node, visit func(*node)) {
+	if n.isLeaf() {
+		visit(n)
+		return
+	}
+	var walkTrie func(st *splitTrie)
+	walkTrie = func(st *splitTrie) {
+		if st.isLeaf() {
+			t.walkLeaves(st.child, visit)
+			return
+		}
+		walkTrie(st.left)
+		walkTrie(st.right)
+	}
+	walkTrie(n.trie)
+}
+
+// Level returns the nodes at the given level in trie order, level 0
+// being the leaves and Height()-1 the root. Each view aggregates the
+// node's subtree. Views with zero records are omitted.
+func (t *Tree) Level(level int) ([]NodeView, error) {
+	if level < 0 || level >= t.height {
+		return nil, fmt.Errorf("rplustree: level %d outside [0,%d)", level, t.height)
+	}
+	depth := t.height - 1 - level // root depth 0
+	var out []NodeView
+	var walk func(n *node, d int)
+	walk = func(n *node, d int) {
+		if d == depth {
+			v := NodeView{MBR: n.mbr, Count: n.count}
+			t.walkLeaves(n, func(l *node) {
+				if len(l.recs) > 0 {
+					v.Leaves = append(v.Leaves, LeafView{MBR: l.mbr, Records: l.recs})
+				}
+			})
+			if v.Count > 0 {
+				out = append(out, v)
+			}
+			return
+		}
+		var walkTrie func(st *splitTrie)
+		walkTrie = func(st *splitTrie) {
+			if st.isLeaf() {
+				walk(st.child, d+1)
+				return
+			}
+			walkTrie(st.left)
+			walkTrie(st.right)
+		}
+		walkTrie(n.trie)
+	}
+	walk(t.root, 0)
+	return out, nil
+}
+
+// Search returns the records whose exact coordinates fall inside the
+// query box, pruning by MBR — so the gaps between MBRs and routing
+// regions (Section 2.3) let whole subtrees be skipped even when the
+// query intersects their routing regions.
+func (t *Tree) Search(q attr.Box) []attr.Record {
+	var out []attr.Record
+	var walk func(n *node)
+	walk = func(n *node) {
+		if !n.mbr.Intersects(q) {
+			return
+		}
+		if n.isLeaf() {
+			for _, r := range n.recs {
+				if q.Contains(r.QI) {
+					out = append(out, r)
+				}
+			}
+			return
+		}
+		for _, c := range n.children {
+			walk(c)
+		}
+	}
+	walk(t.root)
+	return out
+}
+
+// SearchLeaves returns the leaves whose MBR intersects the query box —
+// the candidate set W of Section 2.3. A COUNT query on the anonymized
+// data returns the total occupancy of W.
+func (t *Tree) SearchLeaves(q attr.Box) []LeafView {
+	var out []LeafView
+	var walk func(n *node)
+	walk = func(n *node) {
+		if !n.mbr.Intersects(q) {
+			return
+		}
+		if n.isLeaf() {
+			if len(n.recs) > 0 {
+				out = append(out, LeafView{MBR: n.mbr, Records: n.recs})
+			}
+			return
+		}
+		for _, c := range n.children {
+			walk(c)
+		}
+	}
+	walk(t.root)
+	return out
+}
+
+// CheckInvariants verifies the structural invariants of the index and
+// returns the first violation found. It is exported for tests and for
+// the experiment harness's self-checks; it is O(n log n) and not meant
+// for hot paths.
+//
+// Invariants:
+//  1. Sibling routing regions are pairwise disjoint (half-open).
+//  2. A child's routing region lies inside its parent's.
+//  3. A node's MBR is tight: exactly the union of its descendants'
+//     records, and contained in its routing region.
+//  4. Counts aggregate correctly.
+//  5. All leaves are at the same depth.
+//  6. Every record's point lies in its leaf's routing region.
+//  7. Internal node tries reference exactly the node's children.
+func (t *Tree) CheckInvariants() error {
+	leafDepth := -1
+	var walk func(n *node, depth int, region attr.Box) error
+	walk = func(n *node, depth int, region attr.Box) error {
+		if !boxWithin(n.region, region) {
+			return fmt.Errorf("node region %v escapes parent region %v", n.region, region)
+		}
+		if !n.mbr.IsEmpty() && !regionContainsBox(n.region, n.mbr) {
+			return fmt.Errorf("node MBR %v escapes region %v", n.mbr, n.region)
+		}
+		if n.isLeaf() {
+			if leafDepth == -1 {
+				leafDepth = depth
+			} else if depth != leafDepth {
+				return fmt.Errorf("leaf at depth %d, expected %d", depth, leafDepth)
+			}
+			if n.count != len(n.recs) {
+				return fmt.Errorf("leaf count %d != %d records", n.count, len(n.recs))
+			}
+			want := attr.NewBox(len(n.region))
+			for _, r := range n.recs {
+				if !regionContains(n.region, r.QI) {
+					return fmt.Errorf("record %d at %v outside leaf region %v", r.ID, r.QI, n.region)
+				}
+				want.Include(r.QI)
+			}
+			if !want.Equal(n.mbr) && !(want.IsEmpty() && n.mbr.IsEmpty()) {
+				return fmt.Errorf("leaf MBR %v not tight (want %v)", n.mbr, want)
+			}
+			return nil
+		}
+		if len(n.children) < 1 {
+			return fmt.Errorf("internal node with no children")
+		}
+		// Trie must enumerate exactly the children.
+		fromTrie := map[*node]bool{}
+		var collect func(st *splitTrie) error
+		collect = func(st *splitTrie) error {
+			if st.isLeaf() {
+				if fromTrie[st.child] {
+					return fmt.Errorf("trie references child twice")
+				}
+				fromTrie[st.child] = true
+				return nil
+			}
+			if err := collect(st.left); err != nil {
+				return err
+			}
+			return collect(st.right)
+		}
+		if err := collect(n.trie); err != nil {
+			return err
+		}
+		if len(fromTrie) != len(n.children) {
+			return fmt.Errorf("trie has %d leaves, node has %d children", len(fromTrie), len(n.children))
+		}
+		count := 0
+		mbr := attr.NewBox(len(n.region))
+		for i, c := range n.children {
+			if !fromTrie[c] {
+				return fmt.Errorf("child %d missing from trie", i)
+			}
+			if c.parent != n {
+				return fmt.Errorf("child %d has wrong parent pointer", i)
+			}
+			for j := i + 1; j < len(n.children); j++ {
+				if regionsOverlap(c.region, n.children[j].region) {
+					return fmt.Errorf("sibling regions overlap: %v and %v", c.region, n.children[j].region)
+				}
+			}
+			count += c.count
+			mbr.IncludeBox(c.mbr)
+			if err := walk(c, depth+1, n.region); err != nil {
+				return err
+			}
+		}
+		if count != n.count {
+			return fmt.Errorf("node count %d != children sum %d", n.count, count)
+		}
+		if !mbr.Equal(n.mbr) && !(mbr.IsEmpty() && n.mbr.IsEmpty()) {
+			return fmt.Errorf("node MBR %v not union of children (want %v)", n.mbr, mbr)
+		}
+		return nil
+	}
+	return walk(t.root, 0, infiniteRegion(t.cfg.Schema.Dims()))
+}
+
+// boxWithin reports half-open region containment: child within parent.
+func boxWithin(child, parent attr.Box) bool {
+	for i := range child {
+		if child[i].Lo < parent[i].Lo || child[i].Hi > parent[i].Hi {
+			return false
+		}
+	}
+	return true
+}
+
+// regionContainsBox reports whether a (closed) MBR fits in a half-open
+// region. The MBR's Hi may equal the region's Hi only when the region
+// extends to +inf... not so: a record with coordinate v sits in a region
+// with Hi > v, so a tight MBR always has Hi strictly below the region Hi
+// unless records touch the boundary from inside, which half-open routing
+// forbids. Hence: mbr.Hi < region.Hi, or region.Hi = +inf.
+func regionContainsBox(region, mbr attr.Box) bool {
+	for i := range region {
+		if mbr[i].Lo < region[i].Lo {
+			return false
+		}
+		if mbr[i].Hi >= region[i].Hi && !math.IsInf(region[i].Hi, 1) {
+			return false
+		}
+	}
+	return true
+}
+
+// regionsOverlap reports whether two half-open regions share a point.
+func regionsOverlap(a, b attr.Box) bool {
+	for i := range a {
+		if a[i].Hi <= b[i].Lo || b[i].Hi <= a[i].Lo {
+			return false
+		}
+	}
+	return true
+}

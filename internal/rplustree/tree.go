@@ -1,0 +1,479 @@
+// Package rplustree implements the paper's anonymizing spatial index: a
+// dynamic, non-overlapping multidimensional index over point data in the
+// style of the R⁺-tree [27] / k-d-B-tree, plus the buffer-tree bulk
+// loading algorithm of Section 2.1 and sort-based packing loaders.
+//
+// Like the R⁺-tree the index never overlaps sibling partitions — the
+// paper restricts itself to R-tree variants with this property because
+// every k-anonymization algorithm in the literature produces
+// non-overlapping partitions. Each node carries two boxes:
+//
+//   - a routing region: the half-open box of space the node is
+//     responsible for. Sibling regions are pairwise disjoint and tile
+//     the parent's region, so every point routes to exactly one leaf.
+//   - a minimum bounding rectangle (MBR): the tight box around the
+//     records actually beneath the node. The gaps between a node's MBR
+//     and its routing region are exactly the "gaps in the domain" of
+//     Sections 2.3 and 4 — they are what make index-based
+//     anonymizations more precise and queries on them more accurate.
+//
+// Internal nodes remember the binary split history of their children as
+// a small trie. Splitting an overflowing internal node at its trie root
+// hyperplane therefore never straddles a child, which sidesteps the
+// k-d-B-tree's forced downward splits entirely while preserving the
+// disjointness invariant.
+package rplustree
+
+import (
+	"fmt"
+	"math"
+
+	"spatialanon/internal/attr"
+)
+
+// Config parameterizes a Tree.
+type Config struct {
+	// Schema describes the quasi-identifier attributes; its length sets
+	// the dimensionality.
+	Schema *attr.Schema
+	// BaseK is the minimum leaf occupancy the split machinery aims for —
+	// the paper's base anonymity parameter k (Section 5.1 uses base
+	// k=5 and derives all published granularities by leaf scanning).
+	BaseK int
+	// LeafFactor is the paper's constant c: leaves hold between BaseK
+	// and c*BaseK records (Section 3.1). Must be >= 2 so a median split
+	// of an overflowing leaf leaves both halves with >= BaseK records.
+	// Defaults to 2.
+	LeafFactor int
+	// NodeCapacity is the maximum number of children of an internal
+	// node (the paper's m). Defaults to 8; minimum 2.
+	NodeCapacity int
+	// Split chooses leaf split hyperplanes. Defaults to
+	// MinMarginPolicy, the R-tree-style "minimize the resulting
+	// partitions" heuristic the paper contrasts with Mondrian's
+	// widest-attribute rule.
+	Split SplitPolicy
+	// Guard, when non-nil, vetoes leaf splits: a split only happens if
+	// Guard approves both halves. This is how the splitting routine
+	// "can incorporate, for example, (α,k)-anonymity or l-diversity
+	// just as easily as vanilla k-anonymity" (Section 6): install a
+	// guard requiring both halves to satisfy the constraint, and leaves
+	// grow instead of splitting whenever a split would violate it.
+	Guard func(left, right []attr.Record) bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.LeafFactor == 0 {
+		c.LeafFactor = 2
+	}
+	if c.NodeCapacity == 0 {
+		c.NodeCapacity = 8
+	}
+	if c.Split == nil {
+		c.Split = MinMarginPolicy{}
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	if c.Schema == nil {
+		return fmt.Errorf("rplustree: nil schema")
+	}
+	if err := c.Schema.Validate(); err != nil {
+		return err
+	}
+	if c.BaseK < 1 {
+		return fmt.Errorf("rplustree: BaseK %d < 1", c.BaseK)
+	}
+	if c.LeafFactor < 2 {
+		return fmt.Errorf("rplustree: LeafFactor %d < 2 cannot guarantee k-occupancy after splits", c.LeafFactor)
+	}
+	if c.NodeCapacity < 2 {
+		return fmt.Errorf("rplustree: NodeCapacity %d < 2", c.NodeCapacity)
+	}
+	return nil
+}
+
+// leafCapacity is c*k, the paper's maximum leaf occupancy.
+func (c Config) leafCapacity() int { return c.LeafFactor * c.BaseK }
+
+// splitTrie records the binary split history of an internal node's
+// children. Trie leaves point at children; trie internal nodes carry the
+// hyperplane that divided the corresponding region.
+type splitTrie struct {
+	// Leaf case: child is non-nil.
+	child *node
+	// Internal case: split at QI[axis] == value; left holds points with
+	// coordinate < value, right holds >= value.
+	axis        int
+	value       float64
+	left, right *splitTrie
+}
+
+func (st *splitTrie) isLeaf() bool { return st.child != nil }
+
+// node is one tree node. Exactly one of recs (leaf) or children
+// (internal) is used.
+type node struct {
+	parent *node
+	region attr.Box // half-open routing region (hi exclusive, see regionContains)
+	mbr    attr.Box // tight bound on the records beneath
+	count  int      // records beneath
+
+	recs []attr.Record // leaf payload
+
+	children []*node
+	trie     *splitTrie
+
+	// buffer is the buffer-tree record buffer (Section 2.1); nil unless
+	// a BulkLoader is driving this tree.
+	buffer *nodeBuffer
+}
+
+func (n *node) isLeaf() bool { return n.children == nil && n.trie == nil }
+
+// Tree is the anonymizing spatial index.
+type Tree struct {
+	cfg    Config
+	root   *node
+	height int // number of levels; 1 = root is a leaf
+
+	// loader is the buffer-tree bulk loader currently driving this
+	// tree, if any (see bufferload.go).
+	loader *BulkLoader
+}
+
+// New creates an empty tree.
+func New(cfg Config) (*Tree, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	dims := cfg.Schema.Dims()
+	root := &node{
+		region: infiniteRegion(dims),
+		mbr:    attr.NewBox(dims),
+	}
+	return &Tree{cfg: cfg, root: root, height: 1}, nil
+}
+
+// infiniteRegion is the whole space: the root's routing region.
+func infiniteRegion(dims int) attr.Box {
+	b := make(attr.Box, dims)
+	for i := range b {
+		b[i] = attr.Interval{Lo: math.Inf(-1), Hi: math.Inf(1)}
+	}
+	return b
+}
+
+// regionContains implements half-open routing: p belongs to region iff
+// lo <= p < hi on every axis (an infinite hi admits everything, so the
+// outermost regions behave as closed).
+func regionContains(region attr.Box, p []float64) bool {
+	for i, iv := range region {
+		if p[i] < iv.Lo || p[i] >= iv.Hi {
+			return false
+		}
+	}
+	return true
+}
+
+// Config returns the tree's configuration (after defaulting).
+func (t *Tree) Config() Config { return t.cfg }
+
+// Len returns the number of records in the tree.
+func (t *Tree) Len() int { return t.root.count }
+
+// Height returns the number of levels in the tree (1 when the root is a
+// leaf).
+func (t *Tree) Height() int { return t.height }
+
+// MBR returns the tight bounding box of all records (empty box when the
+// tree is empty).
+func (t *Tree) MBR() attr.Box { return t.root.mbr.Clone() }
+
+// Insert adds one record, splitting nodes as needed (the tuple-loading
+// path; bulk loads should go through a BulkLoader or a packing loader).
+func (t *Tree) Insert(rec attr.Record) error {
+	if len(rec.QI) != t.cfg.Schema.Dims() {
+		return fmt.Errorf("rplustree: record has %d attributes, tree has %d", len(rec.QI), t.cfg.Schema.Dims())
+	}
+	leaf := t.routeToLeaf(t.root, rec.QI)
+	t.insertIntoLeaf(leaf, rec)
+	return nil
+}
+
+// routeToLeaf descends from n to the unique leaf whose region contains p.
+func (t *Tree) routeToLeaf(n *node, p []float64) *node {
+	for !n.isLeaf() {
+		n = routeChild(n, p)
+	}
+	return n
+}
+
+// routeChild picks the unique child of internal node n responsible for p
+// by walking n's split trie.
+func routeChild(n *node, p []float64) *node {
+	st := n.trie
+	for !st.isLeaf() {
+		if p[st.axis] < st.value {
+			st = st.left
+		} else {
+			st = st.right
+		}
+	}
+	return st.child
+}
+
+// insertIntoLeaf places rec in leaf, updates MBRs and counts along the
+// root path, and splits on overflow.
+func (t *Tree) insertIntoLeaf(leaf *node, rec attr.Record) {
+	leaf.recs = append(leaf.recs, rec)
+	for n := leaf; n != nil; n = n.parent {
+		n.count++
+		n.mbr.Include(rec.QI)
+	}
+	t.splitLeafRecursive(leaf)
+}
+
+// bulkAppendLeaf places a batch of records in leaf at once: the root
+// path's counts and MBRs are updated once for the whole group, and the
+// leaf is then split recursively down to capacity. Grouped appends are
+// what make buffer emptying cheaper than tuple-at-a-time insertion even
+// in memory — one path update and O(log) splits per group instead of
+// per record.
+func (t *Tree) bulkAppendLeaf(leaf *node, recs []attr.Record) {
+	if len(recs) == 0 {
+		return
+	}
+	leaf.recs = append(leaf.recs, recs...)
+	box := attr.NewBox(t.cfg.Schema.Dims())
+	for _, r := range recs {
+		box.Include(r.QI)
+	}
+	for n := leaf; n != nil; n = n.parent {
+		n.count += len(recs)
+		n.mbr.IncludeBox(box)
+	}
+	t.splitLeafRecursive(leaf)
+}
+
+// splitLeafRecursive splits a leaf until every resulting leaf is within
+// capacity (bulk appends can leave a leaf many times over).
+func (t *Tree) splitLeafRecursive(leaf *node) {
+	if len(leaf.recs) <= t.cfg.leafCapacity() {
+		return
+	}
+	left, right, ok := t.splitLeaf(leaf)
+	if !ok {
+		return
+	}
+	t.splitLeafRecursive(left)
+	t.splitLeafRecursive(right)
+}
+
+// splitLeaf divides an overflowing leaf along a policy-chosen
+// hyperplane, returning the two halves. ok is false when no axis can
+// separate the records (all points identical); the leaf is then left
+// oversized — the only correct option for duplicate-only data.
+func (t *Tree) splitLeaf(leaf *node) (leftOut, rightOut *node, ok bool) {
+	ctx := &SplitContext{Schema: t.cfg.Schema, Domain: t.root.mbr, MBR: leaf.mbr, MinSide: t.cfg.BaseK}
+	axis, value, ok := t.cfg.Split.ChooseSplit(leaf.recs, ctx)
+	if !ok {
+		return nil, nil, false
+	}
+	leftRegion, rightRegion := splitRegion(leaf.region, axis, value)
+
+	// Partition the record slice in place (Hoare style) instead of
+	// copying into fresh slices: bulk loads split leaves holding large
+	// fractions of the data set at every level, and per-level copying
+	// dominated both allocation and GC time. The halves alias the
+	// original backing array; the left half is capacity-clipped so a
+	// later append to it cannot stomp the right half.
+	recs := leaf.recs
+	leftMBR := attr.NewBox(len(leaf.region))
+	rightMBR := attr.NewBox(len(leaf.region))
+	lo, hi := 0, len(recs)
+	for lo < hi {
+		if recs[lo].QI[axis] < value {
+			leftMBR.Include(recs[lo].QI)
+			lo++
+		} else {
+			hi--
+			recs[lo], recs[hi] = recs[hi], recs[lo]
+			rightMBR.Include(recs[hi].QI)
+		}
+	}
+	leftRecs := recs[:lo:lo]
+	rightRecs := recs[lo:]
+	if t.cfg.Guard != nil && !t.cfg.Guard(leftRecs, rightRecs) {
+		return nil, nil, false // constraint-violating split: the leaf grows instead
+	}
+	left := &node{region: leftRegion, mbr: leftMBR, recs: leftRecs, count: len(leftRecs)}
+	right := &node{region: rightRegion, mbr: rightMBR, recs: rightRecs, count: len(rightRecs)}
+	t.replaceWithPair(leaf, left, right, axis, value)
+	return left, right, true
+}
+
+// splitRegion cuts a half-open routing region at value along axis.
+func splitRegion(region attr.Box, axis int, value float64) (left, right attr.Box) {
+	left = region.Clone()
+	right = region.Clone()
+	left[axis] = attr.Interval{Lo: region[axis].Lo, Hi: value}
+	right[axis] = attr.Interval{Lo: value, Hi: region[axis].Hi}
+	return left, right
+}
+
+// replaceWithPair substitutes old (a child of its parent, or the root)
+// with the two halves produced by splitting it at (axis, value), then
+// handles parent overflow.
+func (t *Tree) replaceWithPair(old, left, right *node, axis int, value float64) {
+	parent := old.parent
+	if parent == nil {
+		// Root split: the tree grows a level.
+		newRoot := &node{
+			region:   old.region,
+			mbr:      old.mbr.Clone(),
+			count:    old.count,
+			children: []*node{left, right},
+			trie: &splitTrie{
+				axis: axis, value: value,
+				left:  &splitTrie{child: left},
+				right: &splitTrie{child: right},
+			},
+		}
+		left.parent = newRoot
+		right.parent = newRoot
+		t.root = newRoot
+		t.height++
+		t.splitBuffer(old, left, right, axis, value)
+		return
+	}
+	// Replace old in parent's child list and trie.
+	replaced := false
+	for i, c := range parent.children {
+		if c == old {
+			parent.children[i] = left
+			replaced = true
+			break
+		}
+	}
+	if !replaced {
+		panic("rplustree: split of node not present in its parent")
+	}
+	parent.children = append(parent.children, right)
+	left.parent = parent
+	right.parent = parent
+
+	st := findTrieLeaf(parent.trie, old)
+	if st == nil {
+		panic("rplustree: split of node not present in parent trie")
+	}
+	st.child = nil
+	st.axis = axis
+	st.value = value
+	st.left = &splitTrie{child: left}
+	st.right = &splitTrie{child: right}
+
+	t.splitBuffer(old, left, right, axis, value)
+
+	if len(parent.children) > t.cfg.NodeCapacity {
+		t.splitInternal(parent)
+	}
+}
+
+// findTrieLeaf locates the trie leaf pointing at target.
+func findTrieLeaf(st *splitTrie, target *node) *splitTrie {
+	if st.isLeaf() {
+		if st.child == target {
+			return st
+		}
+		return nil
+	}
+	if got := findTrieLeaf(st.left, target); got != nil {
+		return got
+	}
+	return findTrieLeaf(st.right, target)
+}
+
+// splitInternal divides an overflowing internal node at its trie root
+// hyperplane. Because every child was created by recursively splitting
+// this node's region, the trie root hyperplane straddles no child.
+func (t *Tree) splitInternal(n *node) {
+	rootSplit := n.trie
+	if rootSplit.isLeaf() {
+		panic("rplustree: internal node with trivial trie cannot overflow")
+	}
+	axis, value := rootSplit.axis, rootSplit.value
+	leftRegion, rightRegion := splitRegion(n.region, axis, value)
+
+	left := &node{region: leftRegion, mbr: attr.NewBox(len(n.region)), trie: rootSplit.left}
+	right := &node{region: rightRegion, mbr: attr.NewBox(len(n.region)), trie: rootSplit.right}
+	for _, c := range n.children {
+		var side *node
+		if c.region[axis].Lo < value {
+			side = left
+		} else {
+			side = right
+		}
+		side.children = append(side.children, c)
+		side.mbr.IncludeBox(c.mbr)
+		side.count += c.count
+		c.parent = side
+	}
+	// A trie subtree that is itself a leaf means that half has exactly
+	// one child; that is legal (NodeCapacity >= 2 guarantees both halves
+	// non-empty because the trie root has children on both sides).
+	t.replaceWithPair(n, left, right, axis, value)
+}
+
+// Delete removes the record with the given ID located at point qi.
+// It reports whether a record was found and removed. Underfull leaves
+// are retained: k-anonymity of published views is enforced at
+// materialization time by the leaf-scan grouping (Section 3.2), which
+// coalesces small leaves.
+func (t *Tree) Delete(id int64, qi []float64) bool {
+	if len(qi) != t.cfg.Schema.Dims() {
+		return false
+	}
+	leaf := t.routeToLeaf(t.root, qi)
+	idx := -1
+	for i, r := range leaf.recs {
+		if r.ID == id {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return false
+	}
+	leaf.recs = append(leaf.recs[:idx], leaf.recs[idx+1:]...)
+	// Recompute the leaf MBR, then tighten ancestors from their
+	// children's MBRs.
+	leaf.mbr = attr.NewBox(len(leaf.region))
+	for _, r := range leaf.recs {
+		leaf.mbr.Include(r.QI)
+	}
+	leaf.count = len(leaf.recs)
+	for n := leaf.parent; n != nil; n = n.parent {
+		n.count--
+		m := attr.NewBox(len(n.region))
+		for _, c := range n.children {
+			m.IncludeBox(c.mbr)
+		}
+		n.mbr = m
+	}
+	return true
+}
+
+// Update relocates a record: it removes the record with the given ID at
+// its old coordinates and reinserts it with new ones.
+func (t *Tree) Update(id int64, oldQI []float64, rec attr.Record) bool {
+	if !t.Delete(id, oldQI) {
+		return false
+	}
+	if err := t.Insert(rec); err != nil {
+		return false
+	}
+	return true
+}

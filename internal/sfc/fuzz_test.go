@@ -1,0 +1,33 @@
+package sfc
+
+import (
+	"testing"
+)
+
+// FuzzHilbertRoundTrip checks that HilbertCell inverts HilbertKey for
+// arbitrary cells at several dimensionalities — the property every
+// sort-based load depends on. Runs as a normal test over the seed
+// corpus; `go test -fuzz FuzzHilbertRoundTrip ./internal/sfc` explores
+// further.
+func FuzzHilbertRoundTrip(f *testing.F) {
+	f.Add(uint16(0), uint16(0), uint16(0), uint8(2))
+	f.Add(uint16(1), uint16(2), uint16(3), uint8(3))
+	f.Add(uint16(65535), uint16(0), uint16(32768), uint8(4))
+	f.Add(uint16(12345), uint16(54321), uint16(999), uint8(2))
+	f.Fuzz(func(t *testing.T, a, b, c uint16, dimsRaw uint8) {
+		dims := int(dimsRaw%3) + 2 // 2..4 dims
+		bits := 16 / dims * 2
+		if bits < 2 {
+			bits = 2
+		}
+		mask := uint32(1)<<bits - 1
+		cell := []uint32{uint32(a) & mask, uint32(b) & mask, uint32(c) & mask, uint32(a^b) & mask}[:dims]
+		key := HilbertKey(cell, bits)
+		back := HilbertCell(key, dims, bits)
+		for d := range cell {
+			if back[d] != cell[d] {
+				t.Fatalf("dims=%d bits=%d: %v -> %d -> %v", dims, bits, cell, key, back)
+			}
+		}
+	})
+}

@@ -1,0 +1,47 @@
+package spatialanon
+
+import (
+	"testing"
+	"time"
+
+	"spatialanon/internal/anonmodel"
+	"spatialanon/internal/core"
+	"spatialanon/internal/dataset"
+	"spatialanon/internal/mondrian"
+	"spatialanon/internal/rplustree"
+)
+
+// TestScaleTrend logs (under -v) how the R⁺-tree vs Mondrian gap widens
+// with data size — the asymptotic claim behind Figure 7(a).
+func TestScaleTrend(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing trend, skipped in -short")
+	}
+	for _, n := range []int{200000, 800000} {
+		recs := dataset.GenerateLandsEnd(n, 5)
+		rt, err := core.NewRTreeAnonymizer(core.RTreeConfig{
+			Schema:   dataset.LandsEndSchema(),
+			BaseK:    5,
+			BulkLoad: &rplustree.BulkLoadConfig{RecordBytes: 32},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		start := time.Now()
+		if err := rt.Load(recs); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := rt.Partitions(10); err != nil {
+			t.Fatal(err)
+		}
+		rtd := time.Since(start)
+		start = time.Now()
+		if _, err := mondrian.Anonymize(dataset.LandsEndSchema(), recs, mondrian.Options{
+			Constraint: anonmodel.KAnonymity{K: 10},
+		}); err != nil {
+			t.Fatal(err)
+		}
+		mdd := time.Since(start)
+		t.Logf("n=%d rtree=%v mondrian=%v ratio=%.2f", n, rtd, mdd, float64(mdd)/float64(rtd))
+	}
+}
