@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench cover experiments examples clean
+.PHONY: all build test vet race chaos fuzz bench cover experiments examples clean
 
 all: vet test
 
@@ -12,8 +12,24 @@ build:
 vet:
 	$(GO) vet ./...
 
-test:
+# `make test` always vets first: the robustness layer threads errors
+# through many call sites and vet's unused-result checks are cheap
+# insurance.
+test: vet
 	$(GO) test ./...
+
+# Full suite under the race detector.
+race:
+	$(GO) test -race ./...
+
+# The seeded fault-schedule harness (internal/verify), verbosely.
+chaos:
+	$(GO) test ./internal/verify/ -run 'TestChaos' -v
+
+# Short fuzz passes over the dataset codecs.
+fuzz:
+	$(GO) test -run=NONE -fuzz=FuzzReadCSV -fuzztime=30s ./internal/dataset/
+	$(GO) test -run=NONE -fuzz=FuzzReadBinary -fuzztime=30s ./internal/dataset/
 
 # Full figure + ablation benchmark sweep (writes bench_output.txt).
 bench:

@@ -65,6 +65,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
+	ks, err := validateFlags(schema, *algo, *n, *inPath != "", *k, *l, *alpha, *bias, *keyAttr, *grans, *outPath)
+	if err != nil {
+		return err
+	}
 	var recs []attr.Record
 	if *inPath != "" {
 		f, err := os.Open(*inPath)
@@ -92,12 +96,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 
-	if *grans != "" {
-		rt, ok := anonymizer.(*core.RTreeAnonymizer)
-		if !ok {
-			return fmt.Errorf("-granularities requires -algo rtree (multi-granular release exploits the index)")
-		}
-		return multiGranular(rt, schema, recs, *grans, *outPath, *quiet, stderr)
+	if len(ks) > 0 {
+		return multiGranular(anonymizer.(*core.RTreeAnonymizer), schema, recs, ks, *outPath, *quiet, stderr)
 	}
 
 	ps, err := anonymizer.Anonymize(recs)
@@ -133,21 +133,74 @@ func run(args []string, stdout, stderr io.Writer) error {
 	return nil
 }
 
-// multiGranular derives one release per requested granularity from a
-// single index (Section 3), writes each as CSV, and verifies the set is
-// jointly collusion-safe before reporting success.
-func multiGranular(rt *core.RTreeAnonymizer, schema *attr.Schema, recs []attr.Record, grans, outPath string, quiet bool, stderr io.Writer) error {
+// algoNames are the accepted -algo values, checked before any data is
+// touched.
+var algoNames = []string{"rtree", "mondrian", "mondrian-relaxed", "hilbert", "zorder", "grid", "quad", "bptree"}
+
+// validateFlags cross-checks the flag set before any records are
+// generated or loaded, so a bad invocation fails in microseconds with
+// one clear message instead of after an expensive load (or, worse,
+// partway through writing multi-granular output files). It returns the
+// parsed -granularities list (nil when the flag is absent).
+func validateFlags(schema *attr.Schema, algo string, n int, haveIn bool, k, l int, alpha float64, bias, keyAttr, grans, outPath string) ([]int, error) {
+	known := false
+	for _, a := range algoNames {
+		known = known || a == algo
+	}
+	if !known {
+		return nil, fmt.Errorf("unknown algorithm %q (want one of %s)", algo, strings.Join(algoNames, ", "))
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("-k must be >= 1, got %d", k)
+	}
+	if !haveIn && n < 1 {
+		return nil, fmt.Errorf("-n must be >= 1 when generating records, got %d", n)
+	}
+	if l < 0 {
+		return nil, fmt.Errorf("-l must be >= 0, got %d", l)
+	}
+	if l > 0 && alpha > 0 {
+		return nil, fmt.Errorf("-l and -alpha are mutually exclusive")
+	}
+	if alpha != 0 && (alpha < 0 || alpha > 1) {
+		return nil, fmt.Errorf("-alpha must be in (0,1], got %g", alpha)
+	}
+	if (l > 0 || alpha > 0) && schema.Sensitive == "" {
+		return nil, fmt.Errorf("-l/-alpha need a sensitive attribute, and the chosen dataset declares none")
+	}
+	if bias != "" && algo != "rtree" {
+		return nil, fmt.Errorf("-bias only applies to -algo rtree")
+	}
+	if keyAttr != "" && algo != "bptree" {
+		return nil, fmt.Errorf("-key only applies to -algo bptree")
+	}
+	if grans == "" {
+		return nil, nil
+	}
+	if algo != "rtree" {
+		return nil, fmt.Errorf("-granularities requires -algo rtree (multi-granular release exploits the index)")
+	}
 	if outPath == "" {
-		return fmt.Errorf("-granularities needs -out (one file per granularity)")
+		return nil, fmt.Errorf("-granularities needs -out (one file per granularity)")
 	}
 	var ks []int
 	for _, part := range strings.Split(grans, ",") {
-		k, err := strconv.Atoi(strings.TrimSpace(part))
-		if err != nil || k < 1 {
-			return fmt.Errorf("bad granularity %q", part)
+		g, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || g < 1 {
+			return nil, fmt.Errorf("bad granularity %q", part)
 		}
-		ks = append(ks, k)
+		if g < k {
+			return nil, fmt.Errorf("granularity %d is finer than the base k=%d; a release below the index's k would break the collusion guarantee", g, k)
+		}
+		ks = append(ks, g)
 	}
+	return ks, nil
+}
+
+// multiGranular derives one release per requested granularity from a
+// single index (Section 3), writes each as CSV, and verifies the set is
+// jointly collusion-safe before reporting success.
+func multiGranular(rt *core.RTreeAnonymizer, schema *attr.Schema, recs []attr.Record, ks []int, outPath string, quiet bool, stderr io.Writer) error {
 	if err := rt.Load(recs); err != nil {
 		return err
 	}

@@ -106,6 +106,45 @@ func TestErrors(t *testing.T) {
 	}
 }
 
+func TestFlagValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string // substring of the error message
+	}{
+		{"negative k", []string{"-k", "-3"}, "-k must be >= 1"},
+		{"zero k", []string{"-k", "0"}, "-k must be >= 1"},
+		{"unknown algo", []string{"-algo", "kd-tree"}, `unknown algorithm "kd-tree"`},
+		{"zero n", []string{"-n", "0"}, "-n must be >= 1"},
+		{"negative n", []string{"-n", "-5"}, "-n must be >= 1"},
+		{"negative l", []string{"-l", "-1"}, "-l must be >= 0"},
+		{"l and alpha", []string{"-l", "2", "-alpha", "0.5"}, "mutually exclusive"},
+		{"alpha above one", []string{"-alpha", "1.5"}, "-alpha must be in (0,1]"},
+		{"negative alpha", []string{"-alpha", "-0.2"}, "-alpha must be in (0,1]"},
+		{"l without sensitive", []string{"-dataset", "landsend", "-l", "2"}, "sensitive attribute"},
+		{"alpha without sensitive", []string{"-dataset", "agrawal", "-alpha", "0.5"}, "sensitive attribute"},
+		{"bias off rtree", []string{"-algo", "mondrian", "-bias", "zipcode"}, "-bias only applies"},
+		{"key off bptree", []string{"-algo", "rtree", "-key", "age"}, "-key only applies"},
+		{"granularities off rtree", []string{"-algo", "grid", "-granularities", "5,10", "-out", "/tmp/x.csv"}, "requires -algo rtree"},
+		{"granularities without out", []string{"-granularities", "10,20"}, "needs -out"},
+		{"granularity unparsable", []string{"-granularities", "10,abc", "-out", "/tmp/x.csv"}, `bad granularity "abc"`},
+		{"granularity zero", []string{"-granularities", "0", "-out", "/tmp/x.csv"}, `bad granularity "0"`},
+		{"granularity below k", []string{"-k", "10", "-granularities", "20,5", "-out", "/tmp/x.csv"}, "finer than the base k=10"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out, errBuf bytes.Buffer
+			err := run(tc.args, &out, &errBuf)
+			if err == nil {
+				t.Fatalf("run(%v) succeeded", tc.args)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("run(%v) = %q, want substring %q", tc.args, err, tc.want)
+			}
+		})
+	}
+}
+
 func TestBuildConstraint(t *testing.T) {
 	c, err := buildConstraint(5, 0, 0)
 	if err != nil || c.(anonmodel.KAnonymity).K != 5 {

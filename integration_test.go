@@ -14,6 +14,7 @@ import (
 	"spatialanon/internal/query"
 	"spatialanon/internal/rplustree"
 	"spatialanon/internal/sfc"
+	"spatialanon/internal/verify"
 )
 
 // TestEndToEndLifecycle drives the full system the way a data owner
@@ -71,6 +72,9 @@ func TestEndToEndLifecycle(t *testing.T) {
 	if err := rt.Tree().CheckInvariants(); err != nil {
 		t.Fatal(err)
 	}
+	if err := verify.Tree(rt.Tree(), verify.TreeOptions{}); err != nil {
+		t.Fatal(err)
+	}
 
 	// Phase 4: multi-granular release to three trust tiers, then play
 	// the colluding adversary.
@@ -84,8 +88,14 @@ func TestEndToEndLifecycle(t *testing.T) {
 		if err := anonmodel.CheckAnonymity(rel.Partitions, anonmodel.KAnonymity{K: rel.Granularity}); err != nil {
 			t.Fatalf("granularity %d: %v", rel.Granularity, err)
 		}
+		if err := verify.Release(rel.Partitions, anonmodel.KAnonymity{K: rel.Granularity}); err != nil {
+			t.Fatalf("granularity %d: %v", rel.Granularity, err)
+		}
 	}
 	if err := core.VerifyCollusionSafety(sets, k); err != nil {
+		t.Fatal(err)
+	}
+	if err := verify.Releases(sets, k); err != nil {
 		t.Fatal(err)
 	}
 
@@ -163,6 +173,9 @@ func TestAlgorithmsAgreeOnFundamentals(t *testing.T) {
 		if err := anonmodel.CheckAnonymity(ps, cons); err != nil {
 			t.Fatalf("%s: %v", a.Name(), err)
 		}
+		if err := verify.Release(ps, cons); err != nil {
+			t.Fatalf("%s: %v", a.Name(), err)
+		}
 		got := map[int64]bool{}
 		for _, p := range ps {
 			for _, r := range p.Records {
@@ -207,6 +220,12 @@ func TestDeterministicRebuild(t *testing.T) {
 		}
 		ps, err := rt.Partitions(10)
 		if err != nil {
+			t.Fatal(err)
+		}
+		if err := verify.Tree(rt.Tree(), verify.TreeOptions{}); err != nil {
+			t.Fatal(err)
+		}
+		if err := verify.Release(ps, anonmodel.KAnonymity{K: 10}); err != nil {
 			t.Fatal(err)
 		}
 		return ps
@@ -261,5 +280,11 @@ func TestInfeasibleConstraintSurfacesEverywhere(t *testing.T) {
 				t.Fatalf("%s: emitted a violating table without error: %v", a.Name(), cerr)
 			}
 		}
+	}
+	// A refused publication must not leave the index corrupt: the tree
+	// keeps serving (and future feasible releases keep working) after
+	// the error.
+	if err := verify.Tree(rt.Tree(), verify.TreeOptions{}); err != nil {
+		t.Fatal(err)
 	}
 }

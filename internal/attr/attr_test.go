@@ -51,7 +51,7 @@ func TestSchemaValidateErrors(t *testing.T) {
 		{"empty", Schema{}},
 		{"dup", Schema{Attrs: []Attribute{{Name: "a"}, {Name: "a"}}}},
 		{"unnamed", Schema{Attrs: []Attribute{{Name: ""}}}},
-		{"numeric-hierarchy", Schema{Attrs: []Attribute{{Name: "a", Kind: Numeric, Hierarchy: FlatHierarchy("r", "x")}}}},
+		{"numeric-hierarchy", Schema{Attrs: []Attribute{{Name: "a", Kind: Numeric, Hierarchy: MustFlatHierarchy("r", "x")}}}},
 		{"negative-weight", Schema{Attrs: []Attribute{{Name: "a", Weight: -1}}}},
 	}
 	for _, c := range cases {

@@ -94,8 +94,12 @@ func BuildHierarchy(root *HNode) (*Hierarchy, error) {
 	return h, nil
 }
 
-// MustBuildHierarchy is BuildHierarchy, panicking on error. Intended for
-// statically-known hierarchies in examples and tests.
+// MustBuildHierarchy is BuildHierarchy, panicking on error. The panic is
+// kept deliberately (the Must* idiom): it is for statically-known
+// hierarchies in package variables, examples and tests, where a failure
+// is a programmer error, never a data-dependent condition. Anything
+// built from runtime input must call BuildHierarchy and handle the
+// error.
 func MustBuildHierarchy(root *HNode) *Hierarchy {
 	h, err := BuildHierarchy(root)
 	if err != nil {
@@ -106,12 +110,24 @@ func MustBuildHierarchy(root *HNode) *Hierarchy {
 
 // FlatHierarchy builds the trivial two-level hierarchy rootLabel -> values
 // — the shape used when a categorical attribute has no semantic taxonomy.
-func FlatHierarchy(rootLabel string, values ...string) *Hierarchy {
+// It errors on duplicate values (runtime input such as a schema file can
+// carry them); static call sites can use MustFlatHierarchy.
+func FlatHierarchy(rootLabel string, values ...string) (*Hierarchy, error) {
 	children := make([]*HNode, len(values))
 	for i, v := range values {
 		children[i] = Leaf(v)
 	}
-	return MustBuildHierarchy(Node(rootLabel, children...))
+	return BuildHierarchy(Node(rootLabel, children...))
+}
+
+// MustFlatHierarchy is FlatHierarchy, panicking on error — for
+// statically-known value lists only (see MustBuildHierarchy).
+func MustFlatHierarchy(rootLabel string, values ...string) *Hierarchy {
+	h, err := FlatHierarchy(rootLabel, values...)
+	if err != nil {
+		panic(err)
+	}
+	return h
 }
 
 // Root returns the hierarchy's root node.

@@ -148,7 +148,7 @@ func TestBuildHierarchyErrors(t *testing.T) {
 }
 
 func TestFlatHierarchy(t *testing.T) {
-	h := FlatHierarchy("sex", "M", "F")
+	h := MustFlatHierarchy("sex", "M", "F")
 	if h.LeafCount() != 2 {
 		t.Fatalf("LeafCount = %d", h.LeafCount())
 	}
@@ -189,5 +189,14 @@ func TestHierarchyLeafOrderingIsDocumentOrder(t *testing.T) {
 	want := "53706,53710,53715,52100,52108,M5V"
 	if got != want {
 		t.Fatalf("leaf order = %s, want %s", got, want)
+	}
+}
+
+func TestFlatHierarchyDuplicateValues(t *testing.T) {
+	if _, err := FlatHierarchy("sex", "M", "M"); err == nil {
+		t.Fatal("duplicate values accepted")
+	}
+	if h := MustFlatHierarchy("sex", "M", "F"); h.LeafCount() != 2 {
+		t.Fatal("MustFlatHierarchy built wrong hierarchy")
 	}
 }

@@ -158,8 +158,10 @@ func (a *RTreeAnonymizer) Insert(rec attr.Record) error {
 // Delete removes the record with the given ID at qi.
 func (a *RTreeAnonymizer) Delete(id int64, qi []float64) bool { return a.tree.Delete(id, qi) }
 
-// Update relocates a record.
-func (a *RTreeAnonymizer) Update(id int64, oldQI []float64, rec attr.Record) bool {
+// Update relocates a record. The bool reports whether the record was
+// found; the error surfaces storage-charge failures from an attached
+// loader (the record is reinserted either way).
+func (a *RTreeAnonymizer) Update(id int64, oldQI []float64, rec attr.Record) (bool, error) {
 	return a.tree.Update(id, oldQI, rec)
 }
 

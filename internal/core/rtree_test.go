@@ -185,7 +185,11 @@ func TestRTreeDeleteUpdateMaintainsAnonymity(t *testing.T) {
 	}
 	moved := recs[300].Clone()
 	moved.QI[0] += 5
-	if !a.Update(recs[300].ID, recs[300].QI, moved) {
+	updated, err := a.Update(recs[300].ID, recs[300].QI, moved)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !updated {
 		t.Fatal("update failed")
 	}
 	ps, err := a.Partitions(0)

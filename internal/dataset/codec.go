@@ -6,6 +6,7 @@ import (
 	"encoding/csv"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 
 	"spatialanon/internal/attr"
@@ -168,6 +169,12 @@ func ReadCSV(r io.Reader, s *attr.Schema) ([]attr.Record, error) {
 			v, err := strconv.ParseFloat(row[i], 64)
 			if err != nil {
 				return nil, fmt.Errorf("dataset: row %d column %q: %v", ri+1, s.Attrs[i].Name, err)
+			}
+			// ParseFloat accepts "NaN" and "Inf"; neither has a place in a
+			// half-open spatial domain (NaN breaks every comparison, Inf
+			// collides with the index's unbounded routing regions).
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("dataset: row %d column %q: non-finite value %q", ri+1, s.Attrs[i].Name, row[i])
 			}
 			qi[i] = v
 		}

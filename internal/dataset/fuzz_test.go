@@ -1,0 +1,75 @@
+package dataset
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"spatialanon/internal/attr"
+)
+
+// fuzzSchemas are the three shapes the repo ships; fuzz inputs are run
+// against each so column-count and sensitive-column handling both get
+// exercised (only PatientsSchema declares a sensitive attribute).
+func fuzzSchemas() []*attr.Schema {
+	return []*attr.Schema{PatientsSchema(), LandsEndSchema(), AgrawalSchema()}
+}
+
+// FuzzReadCSV asserts the parser's contract on arbitrary bytes: it
+// either returns an error or returns records that are well-formed for
+// the schema — never a panic, never a non-finite coordinate.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("age,sex,zip,ailment\n30,1,53000,flu\n")
+	f.Add("age,sex,zip,ailment\nNaN,0,53000,flu\n")
+	f.Add("age,sex,zip,ailment\n+Inf,0,53000,flu\n")
+	f.Add("")
+	f.Add("age,sex\n1")
+	f.Add("\"unterminated")
+	f.Add("age,sex,zip,ailment\n1,2\n")
+	f.Fuzz(func(t *testing.T, data string) {
+		for _, s := range fuzzSchemas() {
+			recs, err := ReadCSV(strings.NewReader(data), s)
+			if err != nil {
+				continue
+			}
+			for _, r := range recs {
+				if len(r.QI) != s.Dims() {
+					t.Fatalf("record with %d attributes under %d-dim schema", len(r.QI), s.Dims())
+				}
+				for _, v := range r.QI {
+					if math.IsNaN(v) || math.IsInf(v, 0) {
+						t.Fatalf("non-finite coordinate %v accepted", v)
+					}
+				}
+			}
+		}
+	})
+}
+
+// FuzzReadBinary asserts the fixed-width decoder never panics and
+// never silently drops a suffix: on success the byte length must be an
+// exact multiple of the record size.
+func FuzzReadBinary(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3})
+	f.Add(bytes.Repeat([]byte{0xff}, 36))
+	f.Add(bytes.Repeat([]byte{7}, 40))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, dims := range []int{1, 3, 8, 9} {
+			c := NewBinaryCodec(dims)
+			recs, err := c.ReadBinary(bytes.NewReader(data))
+			if err != nil {
+				continue
+			}
+			if len(data)%c.RecordSize() != 0 {
+				t.Fatalf("decoded %d bytes as %d records of %d bytes without error",
+					len(data), len(recs), c.RecordSize())
+			}
+			if len(recs) != len(data)/c.RecordSize() {
+				t.Fatalf("decoded %d records from %d bytes (record size %d)",
+					len(recs), len(data), c.RecordSize())
+			}
+		}
+	})
+}

@@ -216,7 +216,7 @@ func PatientsSchema() *attr.Schema {
 	return &attr.Schema{
 		Attrs: []attr.Attribute{
 			{Name: "age", Kind: attr.Numeric},
-			{Name: "sex", Kind: attr.Categorical, Hierarchy: attr.FlatHierarchy("*", "M", "F")},
+			{Name: "sex", Kind: attr.Categorical, Hierarchy: attr.MustFlatHierarchy("*", "M", "F")},
 			{Name: "zipcode", Kind: attr.Numeric},
 		},
 		Sensitive: "ailment",

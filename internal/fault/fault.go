@@ -1,0 +1,237 @@
+// Package fault is a deterministic, seed-driven storage fault injector
+// with a typed error taxonomy. It exists because the paper's central
+// claim — an anonymization *is* a spatial index — cuts both ways: every
+// index-corruption failure mode (torn page, lost write, bit rot) is
+// silently also a privacy failure mode. The chaos suite in
+// internal/verify drives seeded schedules of these faults through the
+// pager and the bulk loader and asserts that every injected fault ends
+// in a returned error or a verified-consistent tree, never silent
+// corruption.
+//
+// Taxonomy:
+//
+//   - Transient — the operation failed but a retry may succeed (a busy
+//     device, a dropped request). Callers are expected to retry a
+//     bounded number of times; see rplustree's loader.
+//   - Permanent — the page's device region is gone. Once a permanent
+//     fault fires for a page, every later access to that page fails
+//     too, so retrying is futile and the error must propagate.
+//   - TornWrite — only part of the page's new contents reached disk.
+//     Undetectable at write time; the pager's per-page checksum
+//     surfaces it as a pager.CorruptError on the next read.
+//   - BitRot — bits flipped at rest, likewise surfaced by checksum on
+//     the next read.
+//
+// The Injector consumes a private PRNG seeded by the caller, so a
+// schedule is a pure function of (seed, sequence of intercepted
+// operations) — the property the chaos harness needs to shrink and
+// replay failures.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"spatialanon/internal/pager"
+)
+
+// Kind classifies an injected fault.
+type Kind int
+
+const (
+	// Transient faults may succeed if the operation is retried.
+	Transient Kind = iota
+	// Permanent faults persist: every later access to the page fails.
+	Permanent
+	// TornWrite corrupts the tail of a page during write-back.
+	TornWrite
+	// BitRot flips bits of a page during write-back.
+	BitRot
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Transient:
+		return "transient"
+	case Permanent:
+		return "permanent"
+	case TornWrite:
+		return "torn-write"
+	case BitRot:
+		return "bit-rot"
+	}
+	return fmt.Sprintf("fault.Kind(%d)", int(k))
+}
+
+// Error is a typed injected I/O error.
+type Error struct {
+	Op   string // "read" or "write"
+	Page pager.PageID
+	Kind Kind
+}
+
+// Error implements error.
+func (e *Error) Error() string {
+	return fmt.Sprintf("fault: %s %s error on page %d", e.Kind, e.Op, e.Page)
+}
+
+// Transient reports whether retrying the failed operation can succeed.
+func (e *Error) Transient() bool { return e.Kind == Transient }
+
+// IsTransient reports whether err is a retryable storage fault. Any
+// error in the chain exposing `Transient() bool` participates, so other
+// packages can mark their own errors retryable without importing this
+// one; checksum mismatches (pager.CorruptError) and permanent faults
+// are not transient.
+func IsTransient(err error) bool {
+	var t interface{ Transient() bool }
+	return errors.As(err, &t) && t.Transient()
+}
+
+// Config sets the per-operation fault probabilities of an Injector. A
+// zero Config injects nothing.
+type Config struct {
+	// TransientReadRate / TransientWriteRate are the probabilities that
+	// one disk read / write-back fails with a retryable error.
+	TransientReadRate  float64
+	TransientWriteRate float64
+	// PermanentReadRate / PermanentWriteRate are the probabilities that
+	// one disk read / write-back fails permanently. The faulted page is
+	// remembered: all its later accesses fail too.
+	PermanentReadRate  float64
+	PermanentWriteRate float64
+	// TornWriteRate is the probability a write-back persists only a
+	// prefix of the page (the tail keeps stale garbage).
+	TornWriteRate float64
+	// BitRotRate is the probability a write-back lands with flipped
+	// bits.
+	BitRotRate float64
+	// After arms the injector only after this many intercepted
+	// operations, so schedules can target mid-load states.
+	After int
+	// MaxFaults caps the number of injected faults; 0 means unlimited.
+	// Repeated failures of an already-permanently-failed page do not
+	// count against the cap.
+	MaxFaults int
+}
+
+// Injector is a deterministic fault injector implementing
+// pager.FaultPolicy. It is not safe for concurrent use (neither is the
+// pager).
+type Injector struct {
+	cfg       Config
+	rng       *rand.Rand
+	ops       int
+	counts    map[Kind]int
+	permanent map[pager.PageID]bool
+}
+
+// NewInjector returns an injector whose fault schedule is a pure
+// function of seed and the sequence of intercepted operations.
+func NewInjector(seed int64, cfg Config) *Injector {
+	return &Injector{
+		cfg:       cfg,
+		rng:       rand.New(rand.NewSource(seed)),
+		counts:    make(map[Kind]int),
+		permanent: make(map[pager.PageID]bool),
+	}
+}
+
+// BeforeRead implements pager.FaultPolicy.
+func (in *Injector) BeforeRead(id pager.PageID) error {
+	return in.before("read", id, in.cfg.TransientReadRate, in.cfg.PermanentReadRate)
+}
+
+// BeforeWrite implements pager.FaultPolicy.
+func (in *Injector) BeforeWrite(id pager.PageID) error {
+	return in.before("write", id, in.cfg.TransientWriteRate, in.cfg.PermanentWriteRate)
+}
+
+func (in *Injector) before(op string, id pager.PageID, transientRate, permanentRate float64) error {
+	in.ops++
+	if in.permanent[id] {
+		return &Error{Op: op, Page: id, Kind: Permanent}
+	}
+	if !in.armed() {
+		return nil
+	}
+	// One draw per intercepted operation keeps the schedule stable even
+	// when rates change between runs of the same seed.
+	r := in.rng.Float64()
+	switch {
+	case r < permanentRate:
+		in.permanent[id] = true
+		in.counts[Permanent]++
+		return &Error{Op: op, Page: id, Kind: Permanent}
+	case r < permanentRate+transientRate:
+		in.counts[Transient]++
+		return &Error{Op: op, Page: id, Kind: Transient}
+	}
+	return nil
+}
+
+// CorruptWrite implements pager.FaultPolicy: it may mutate the bytes
+// about to reach disk (after the pager sealed the page checksum, so the
+// damage is detectable on the next read). It reports whether the page
+// was corrupted.
+func (in *Injector) CorruptWrite(id pager.PageID, data []byte) bool {
+	in.ops++
+	if !in.armed() || len(data) == 0 {
+		return false
+	}
+	r := in.rng.Float64()
+	switch {
+	case r < in.cfg.TornWriteRate:
+		// Torn write: a prefix lands, the tail keeps whatever garbage
+		// the sector held before.
+		cut := in.rng.Intn(len(data))
+		for i := cut; i < len(data); i++ {
+			data[i] = byte(in.rng.Intn(256))
+		}
+		in.counts[TornWrite]++
+		return true
+	case r < in.cfg.TornWriteRate+in.cfg.BitRotRate:
+		// Bit rot: flip 1-3 bits. XOR with a non-zero mask guarantees
+		// the byte actually changes.
+		flips := 1 + in.rng.Intn(3)
+		for i := 0; i < flips; i++ {
+			data[in.rng.Intn(len(data))] ^= byte(1 << in.rng.Intn(8))
+		}
+		in.counts[BitRot]++
+		return true
+	}
+	return false
+}
+
+// armed reports whether the injector is past its After threshold and
+// under its fault budget.
+func (in *Injector) armed() bool {
+	if in.ops <= in.cfg.After {
+		return false
+	}
+	return in.cfg.MaxFaults == 0 || in.Injected() < in.cfg.MaxFaults
+}
+
+// Injected returns the number of faults injected so far (repeat
+// failures of an already-permanent page are not counted again).
+func (in *Injector) Injected() int {
+	n := 0
+	for _, c := range in.counts {
+		n += c
+	}
+	return n
+}
+
+// Counts returns a copy of the per-kind injection counters.
+func (in *Injector) Counts() map[Kind]int {
+	out := make(map[Kind]int, len(in.counts))
+	for k, v := range in.counts {
+		out[k] = v
+	}
+	return out
+}
+
+// Ops returns the number of operations intercepted so far.
+func (in *Injector) Ops() int { return in.ops }

@@ -1,20 +1,35 @@
 // Package pager is a simulated paged storage manager: a byte-addressable
 // "disk" of fixed-size pages fronted by an LRU buffer pool with a hard
-// memory budget, pin/unpin semantics, dirty-page write-back, and explicit
-// I/O statistics.
+// memory budget, pin/unpin semantics, dirty-page write-back, explicit
+// I/O statistics, per-page CRC32 checksums and an injectable fault
+// policy.
 //
 // The paper's scalability experiments (Figure 8) report *counts of
 // explicit I/O system calls* while varying the memory allotted to the
 // anonymization process. A counting pager reproduces exactly that
 // quantity — deterministically, independent of the host machine — which
-// is why the buffer-tree bulk loader (internal/buffertree) stores its
+// is why the buffer-tree bulk loader (internal/rplustree) stores its
 // node pages and buffer-spill pages here rather than in plain Go heap
 // memory.
+//
+// Failure semantics. Every page carries a CRC32-Castagnoli checksum,
+// sealed when the page is written back to the simulated disk and
+// verified when it is next read from disk. A mismatch is reported as a
+// typed *CorruptError — the pager never silently returns rotted bytes.
+// A FaultPolicy installed with SetFaultPolicy can fail reads and
+// write-backs (internal/fault provides a deterministic, seed-driven
+// implementation) and corrupt outgoing pages after the checksum is
+// sealed, which is exactly how torn writes and bit rot escape a real
+// storage stack until the page is next read. Scrub is the recovery
+// hook: it re-seals the checksum of every corrupt page, modeling a
+// restore from replica once corruption has been detected.
 package pager
 
 import (
 	"container/list"
 	"fmt"
+	"hash/crc32"
+	"sort"
 )
 
 // PageID names one page of the simulated disk. Zero is never a valid ID.
@@ -36,6 +51,47 @@ type Stats struct {
 // Figure 8(b).
 func (s Stats) IO() int64 { return s.Reads + s.Writes }
 
+// FaultPolicy lets a fault injector intercept the pager's disk-facing
+// operations. All methods are called on the single goroutine driving
+// the pager.
+type FaultPolicy interface {
+	// BeforeRead may return an error to fail the disk read of page id.
+	BeforeRead(id PageID) error
+	// BeforeWrite may return an error to fail the write-back of page id.
+	BeforeWrite(id PageID) error
+	// CorruptWrite may mutate data — the bytes about to reach disk — to
+	// model torn writes and bit rot. It runs after the page checksum has
+	// been sealed, so any mutation is detected on the next disk read. It
+	// reports whether it corrupted the page.
+	CorruptWrite(id PageID, data []byte) bool
+}
+
+// CorruptError reports that a page read from disk failed its checksum:
+// the bytes on disk are not the bytes that were written. It is never
+// transient — retrying the read returns the same rotten page; recovery
+// requires Scrub (restore from replica) or Free.
+type CorruptError struct {
+	Page PageID
+	Want uint32 // checksum sealed at write-back
+	Got  uint32 // checksum of the bytes actually on disk
+}
+
+// Error implements error.
+func (e *CorruptError) Error() string {
+	return fmt.Sprintf("pager: page %d corrupt: checksum %08x, stored %08x", e.Page, e.Got, e.Want)
+}
+
+// crcTable is the Castagnoli polynomial, the same choice as iSCSI and
+// ext4 metadata checksums (hardware-accelerated on amd64/arm64).
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// diskPage is one page at rest: payload plus the checksum sealed at
+// write-back time.
+type diskPage struct {
+	data []byte
+	sum  uint32
+}
+
 type frame struct {
 	id    PageID
 	data  []byte
@@ -50,30 +106,37 @@ type Pager struct {
 	pageSize  int
 	poolPages int
 
-	disk   map[PageID][]byte
+	disk   map[PageID]diskPage
 	frames map[PageID]*frame
 	lru    *list.List // front = most recently used; holds *frame
 	nextID PageID
 	stats  Stats
+	fault  FaultPolicy
 }
 
 // New returns a pager with the given page size in bytes and a buffer
-// pool of poolPages pages. poolPages must be at least 1.
-func New(pageSize, poolPages int) *Pager {
+// pool of poolPages pages. It returns an error when pageSize is not
+// positive or poolPages is below 1 — both reachable from user-supplied
+// memory budgets, so they are errors rather than panics.
+func New(pageSize, poolPages int) (*Pager, error) {
 	if pageSize <= 0 {
-		panic(fmt.Sprintf("pager: page size %d", pageSize))
+		return nil, fmt.Errorf("pager: page size %d must be positive", pageSize)
 	}
 	if poolPages < 1 {
-		panic(fmt.Sprintf("pager: pool of %d pages", poolPages))
+		return nil, fmt.Errorf("pager: buffer pool of %d pages must hold at least 1", poolPages)
 	}
 	return &Pager{
 		pageSize:  pageSize,
 		poolPages: poolPages,
-		disk:      make(map[PageID][]byte),
+		disk:      make(map[PageID]diskPage),
 		frames:    make(map[PageID]*frame),
 		lru:       list.New(),
-	}
+	}, nil
 }
+
+// SetFaultPolicy installs (or, with nil, removes) the fault injection
+// hook. Pages already resident or on disk are unaffected.
+func (p *Pager) SetFaultPolicy(fp FaultPolicy) { p.fault = fp }
 
 // PageSize returns the page size in bytes.
 func (p *Pager) PageSize() int { return p.pageSize }
@@ -105,7 +168,8 @@ func (p *Pager) Alloc() (PageID, []byte, error) {
 
 // Read pins the page into the pool and returns its contents. Mutations of
 // the returned slice are only persisted if the caller also calls
-// MarkDirty before Unpin.
+// MarkDirty before Unpin. A checksum mismatch on the disk read is
+// reported as a *CorruptError.
 func (p *Pager) Read(id PageID) ([]byte, error) {
 	f, err := p.fetch(id)
 	if err != nil {
@@ -160,19 +224,66 @@ func (p *Pager) Free(id PageID) error {
 	return nil
 }
 
-// Flush writes every dirty pooled page back to disk.
-func (p *Pager) Flush() {
-	for _, f := range p.frames {
+// Flush writes every dirty pooled page back to disk, in PageID order so
+// fault schedules replay deterministically. It stops at the first
+// write-back failure.
+func (p *Pager) Flush() error {
+	ids := make([]PageID, 0, len(p.frames))
+	for id, f := range p.frames {
 		if f.dirty {
-			p.writeBack(f)
+			ids = append(ids, id)
 		}
 	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		if err := p.writeBack(p.frames[id]); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Resident reports whether the page is currently in the buffer pool.
 func (p *Pager) Resident(id PageID) bool {
 	_, ok := p.frames[id]
 	return ok
+}
+
+// FlipBit flips one bit of the on-disk copy of a page without updating
+// its checksum — the bit-rot hook for tests and fault drills. The next
+// disk read of the page fails with a *CorruptError.
+func (p *Pager) FlipBit(id PageID, bit int) error {
+	dp, ok := p.disk[id]
+	if !ok {
+		return fmt.Errorf("pager: FlipBit of page %d not on disk", id)
+	}
+	if bit < 0 || bit >= 8*len(dp.data) {
+		return fmt.Errorf("pager: bit %d outside page of %d bytes", bit, len(dp.data))
+	}
+	dp.data[bit/8] ^= 1 << (bit % 8)
+	p.disk[id] = dp
+	return nil
+}
+
+// Scrub re-seals the checksum of every on-disk page whose stored
+// checksum no longer matches its bytes and returns the repaired IDs in
+// ascending order. It models the recovery step a deployment performs
+// once corruption is detected, fsck-style: the page's current bytes
+// are accepted as truth and re-sealed. No original bytes come back —
+// which is safe here because page payloads are I/O-cost proxies and
+// never the system of record. The chaos harness calls it to
+// prove the system resumes cleanly after torn writes and bit rot.
+func (p *Pager) Scrub() []PageID {
+	var repaired []PageID
+	for id, dp := range p.disk {
+		if crc32.Checksum(dp.data, crcTable) != dp.sum {
+			dp.sum = crc32.Checksum(dp.data, crcTable)
+			p.disk[id] = dp
+			repaired = append(repaired, id)
+		}
+	}
+	sort.Slice(repaired, func(i, j int) bool { return repaired[i] < repaired[j] })
+	return repaired
 }
 
 // fetch returns the frame for id, reading it from disk if necessary and
@@ -183,13 +294,21 @@ func (p *Pager) fetch(id PageID) (*frame, error) {
 		p.lru.MoveToFront(f.elem)
 		return f, nil
 	}
-	data, ok := p.disk[id]
+	dp, ok := p.disk[id]
 	if !ok {
 		return nil, fmt.Errorf("pager: read of unknown page %d", id)
 	}
+	if p.fault != nil {
+		if err := p.fault.BeforeRead(id); err != nil {
+			return nil, err
+		}
+	}
 	p.stats.Reads++
+	if got := crc32.Checksum(dp.data, crcTable); got != dp.sum {
+		return nil, &CorruptError{Page: id, Want: dp.sum, Got: got}
+	}
 	buf := make([]byte, p.pageSize)
-	copy(buf, data)
+	copy(buf, dp.data)
 	return p.install(id, buf)
 }
 
@@ -215,7 +334,9 @@ func (p *Pager) evictOne() error {
 			continue
 		}
 		if f.dirty {
-			p.writeBack(f)
+			if err := p.writeBack(f); err != nil {
+				return err
+			}
 		}
 		p.lru.Remove(f.elem)
 		delete(p.frames, f.id)
@@ -224,10 +345,25 @@ func (p *Pager) evictOne() error {
 	return fmt.Errorf("pager: buffer pool of %d pages exhausted by pinned pages", p.poolPages)
 }
 
-func (p *Pager) writeBack(f *frame) {
+// writeBack persists a frame to the simulated disk. The checksum is
+// sealed over the intended bytes before the fault policy gets a chance
+// to corrupt them — a torn or rotted write therefore lands under a
+// stale checksum and is detected on the next read, never silently
+// returned.
+func (p *Pager) writeBack(f *frame) error {
+	if p.fault != nil {
+		if err := p.fault.BeforeWrite(f.id); err != nil {
+			return err
+		}
+	}
 	p.stats.Writes++
 	buf := make([]byte, p.pageSize)
 	copy(buf, f.data)
-	p.disk[f.id] = buf
+	sum := crc32.Checksum(buf, crcTable)
+	if p.fault != nil {
+		p.fault.CorruptWrite(f.id, buf)
+	}
+	p.disk[f.id] = diskPage{data: buf, sum: sum}
 	f.dirty = false
+	return nil
 }

@@ -2,12 +2,22 @@ package pager
 
 import (
 	"encoding/binary"
+	"errors"
 	"math/rand"
 	"testing"
 )
 
+func mustNew(t *testing.T, pageSize, poolPages int) *Pager {
+	t.Helper()
+	p, err := New(pageSize, poolPages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
 func TestAllocReadRoundTrip(t *testing.T) {
-	p := New(64, 4)
+	p := mustNew(t, 64, 4)
 	id, data, err := p.Alloc()
 	if err != nil {
 		t.Fatal(err)
@@ -39,7 +49,7 @@ func TestAllocReadRoundTrip(t *testing.T) {
 }
 
 func TestEvictionWritesBackAndReloads(t *testing.T) {
-	p := New(16, 2)
+	p := mustNew(t, 16, 2)
 	var ids []PageID
 	for i := 0; i < 5; i++ {
 		id, data, err := p.Alloc()
@@ -74,7 +84,7 @@ func TestEvictionWritesBackAndReloads(t *testing.T) {
 }
 
 func TestPinPreventsEviction(t *testing.T) {
-	p := New(16, 2)
+	p := mustNew(t, 16, 2)
 	id1, _, _ := p.Alloc() // stays pinned
 	id2, _, _ := p.Alloc() // stays pinned
 	if _, _, err := p.Alloc(); err == nil {
@@ -96,7 +106,7 @@ func TestPinPreventsEviction(t *testing.T) {
 }
 
 func TestUnpinErrors(t *testing.T) {
-	p := New(16, 2)
+	p := mustNew(t, 16, 2)
 	id, _, _ := p.Alloc()
 	p.Unpin(id)
 	if err := p.Unpin(id); err == nil {
@@ -111,14 +121,14 @@ func TestUnpinErrors(t *testing.T) {
 }
 
 func TestReadUnknownPage(t *testing.T) {
-	p := New(16, 2)
+	p := mustNew(t, 16, 2)
 	if _, err := p.Read(PageID(42)); err == nil {
 		t.Fatal("read of unallocated page accepted")
 	}
 }
 
 func TestFree(t *testing.T) {
-	p := New(16, 2)
+	p := mustNew(t, 16, 2)
 	id, _, _ := p.Alloc()
 	if err := p.Free(id); err == nil {
 		t.Fatal("free of pinned page accepted")
@@ -136,7 +146,7 @@ func TestFree(t *testing.T) {
 }
 
 func TestFlush(t *testing.T) {
-	p := New(16, 4)
+	p := mustNew(t, 16, 4)
 	id, data, _ := p.Alloc()
 	copy(data, []byte("x"))
 	p.Unpin(id)
@@ -154,7 +164,7 @@ func TestFlush(t *testing.T) {
 }
 
 func TestResetStats(t *testing.T) {
-	p := New(16, 2)
+	p := mustNew(t, 16, 2)
 	id, _, _ := p.Alloc()
 	p.Unpin(id)
 	p.Flush()
@@ -176,19 +186,15 @@ func TestStatsIO(t *testing.T) {
 	}
 }
 
-func TestPanicsOnBadConfig(t *testing.T) {
-	for _, f := range []func(){
-		func() { New(0, 1) },
-		func() { New(16, 0) },
-	} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Fatal("bad config accepted")
-				}
-			}()
-			f()
-		}()
+func TestBadConfigErrors(t *testing.T) {
+	if _, err := New(0, 1); err == nil {
+		t.Fatal("zero page size accepted")
+	}
+	if _, err := New(-8, 1); err == nil {
+		t.Fatal("negative page size accepted")
+	}
+	if _, err := New(16, 0); err == nil {
+		t.Fatal("empty pool accepted")
 	}
 }
 
@@ -196,7 +202,7 @@ func TestPanicsOnBadConfig(t *testing.T) {
 // back, and I/O never exceeds one read plus one write per access.
 func TestRandomizedWorkload(t *testing.T) {
 	rng := rand.New(rand.NewSource(5))
-	p := New(32, 3)
+	p := mustNew(t, 32, 3)
 	contents := map[PageID]byte{}
 	var ids []PageID
 	accesses := int64(0)
@@ -249,7 +255,7 @@ func TestRandomizedWorkload(t *testing.T) {
 func TestPoolSizeMonotonicity(t *testing.T) {
 	trace := func(pool int) int64 {
 		rng := rand.New(rand.NewSource(9))
-		p := New(32, pool)
+		p := mustNew(t, 32, pool)
 		var ids []PageID
 		for i := 0; i < 50; i++ {
 			id, _, _ := p.Alloc()
@@ -282,5 +288,197 @@ func TestPoolSizeMonotonicity(t *testing.T) {
 			t.Fatalf("pool %d did more I/O (%d) than smaller pool (%d)", pool, cur, prev)
 		}
 		prev = cur
+	}
+}
+
+// evictAll forces every unpinned page out of the pool so the next Read
+// goes to disk (and through checksum verification).
+func evictAll(t *testing.T, p *Pager) {
+	t.Helper()
+	if err := p.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Fill the pool with throwaway pinned-then-unpinned pages until the
+	// originals are gone.
+	for i := 0; i < 2*p.PoolPages(); i++ {
+		id, _, err := p.Alloc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Unpin(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// The acceptance check of the robustness issue: a flipped bit in any
+// page is detected on the next read and reported as a typed corruption
+// error.
+func TestFlippedBitDetectedOnRead(t *testing.T) {
+	p := mustNew(t, 32, 2)
+	id, data, err := p.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(data, []byte("payload"))
+	p.MarkDirty(id)
+	p.Unpin(id)
+	evictAll(t, p)
+
+	for bit := 0; bit < 32*8; bit += 37 { // a spread of bit positions
+		if err := p.FlipBit(id, bit); err != nil {
+			t.Fatal(err)
+		}
+		_, err := p.Read(id)
+		var ce *CorruptError
+		if !errors.As(err, &ce) {
+			t.Fatalf("bit %d: read returned %v, want *CorruptError", bit, err)
+		}
+		if ce.Page != id || ce.Want == ce.Got {
+			t.Fatalf("bit %d: bad corruption report %+v", bit, ce)
+		}
+		// Flip it back: the page must verify again.
+		if err := p.FlipBit(id, bit); err != nil {
+			t.Fatal(err)
+		}
+		got, err := p.Read(id)
+		if err != nil {
+			t.Fatalf("bit %d: repaired page unreadable: %v", bit, err)
+		}
+		if string(got[:7]) != "payload" {
+			t.Fatalf("bit %d: contents %q", bit, got[:7])
+		}
+		p.Unpin(id)
+		evictAll(t, p)
+	}
+}
+
+func TestFlipBitErrors(t *testing.T) {
+	p := mustNew(t, 16, 2)
+	if err := p.FlipBit(PageID(9), 0); err == nil {
+		t.Fatal("FlipBit of unknown page accepted")
+	}
+	id, _, _ := p.Alloc()
+	p.Unpin(id)
+	if err := p.FlipBit(id, 0); err == nil {
+		t.Fatal("FlipBit of never-written page accepted")
+	}
+	if err := p.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.FlipBit(id, 16*8); err == nil {
+		t.Fatal("out-of-range bit accepted")
+	}
+	if err := p.FlipBit(id, -1); err == nil {
+		t.Fatal("negative bit accepted")
+	}
+}
+
+func TestScrubRepairsCorruptPages(t *testing.T) {
+	p := mustNew(t, 16, 2)
+	var ids []PageID
+	for i := 0; i < 3; i++ {
+		id, data, err := p.Alloc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		data[0] = byte(i + 1)
+		p.MarkDirty(id)
+		p.Unpin(id)
+		ids = append(ids, id)
+	}
+	evictAll(t, p)
+	p.FlipBit(ids[0], 3)
+	p.FlipBit(ids[2], 40)
+	repaired := p.Scrub()
+	if len(repaired) != 2 || repaired[0] != ids[0] || repaired[1] != ids[2] {
+		t.Fatalf("scrub repaired %v", repaired)
+	}
+	if again := p.Scrub(); len(again) != 0 {
+		t.Fatalf("second scrub repaired %v", again)
+	}
+	for _, id := range ids {
+		if _, err := p.Read(id); err != nil {
+			t.Fatalf("page %d unreadable after scrub: %v", id, err)
+		}
+		p.Unpin(id)
+	}
+}
+
+// scriptedFaults is a hand-rolled FaultPolicy for unit tests: it fails
+// specific operation ordinals and can corrupt every write.
+type scriptedFaults struct {
+	op         int
+	failReads  map[int]error
+	failWrites map[int]error
+	corrupt    bool
+}
+
+func (s *scriptedFaults) BeforeRead(id PageID) error {
+	s.op++
+	return s.failReads[s.op]
+}
+
+func (s *scriptedFaults) BeforeWrite(id PageID) error {
+	s.op++
+	return s.failWrites[s.op]
+}
+
+func (s *scriptedFaults) CorruptWrite(id PageID, data []byte) bool {
+	if s.corrupt && len(data) > 0 {
+		data[0] ^= 0xFF
+		return true
+	}
+	return false
+}
+
+func TestFaultPolicyFailsOperations(t *testing.T) {
+	errBoom := errors.New("boom")
+	p := mustNew(t, 16, 2)
+	id, _, err := p.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Unpin(id)
+	p.SetFaultPolicy(&scriptedFaults{failWrites: map[int]error{1: errBoom}})
+	if err := p.Flush(); !errors.Is(err, errBoom) {
+		t.Fatalf("flush error %v, want boom", err)
+	}
+	// Fault removed: the flush succeeds and the page is readable.
+	p.SetFaultPolicy(nil)
+	if err := p.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	evictAll(t, p)
+	p.SetFaultPolicy(&scriptedFaults{failReads: map[int]error{1: errBoom}})
+	if _, err := p.Read(id); !errors.Is(err, errBoom) {
+		t.Fatalf("read error %v, want boom", err)
+	}
+	p.SetFaultPolicy(nil)
+	if _, err := p.Read(id); err != nil {
+		t.Fatal(err)
+	}
+	p.Unpin(id)
+}
+
+func TestCorruptWriteDetectedByChecksum(t *testing.T) {
+	p := mustNew(t, 16, 2)
+	id, data, err := p.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(data, []byte("abc"))
+	p.MarkDirty(id)
+	p.Unpin(id)
+	p.SetFaultPolicy(&scriptedFaults{corrupt: true})
+	if err := p.Flush(); err != nil {
+		t.Fatal(err) // the torn write itself succeeds silently
+	}
+	p.SetFaultPolicy(nil)
+	evictAll(t, p)
+	_, err = p.Read(id)
+	var ce *CorruptError
+	if !errors.As(err, &ce) {
+		t.Fatalf("read of torn page returned %v, want *CorruptError", err)
 	}
 }

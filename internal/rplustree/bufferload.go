@@ -1,6 +1,7 @@
 package rplustree
 
 import (
+	"errors"
 	"fmt"
 
 	"spatialanon/internal/attr"
@@ -25,6 +26,33 @@ import (
 // payloads themselves stay in the Go heap — the pages carry cost, not
 // truth — which keeps the simulation honest about I/O counts without
 // double-storing multi-gigabyte data sets.
+//
+// Failure semantics. Every pager access can fail (the pager carries an
+// injectable FaultPolicy; see internal/fault). The loader retries
+// transient faults a bounded number of times and then propagates the
+// error, under one consistent-state guarantee: no record is ever
+// silently dropped. Concretely:
+//
+//   - Buffer consumption charges its reads before the buffer is taken,
+//     so a failed emptying leaves the buffer intact and retryable.
+//   - Once a batch is taken, it is always delivered: records land in
+//     child buffers or leaves before (or regardless of) the I/O
+//     charges for the move, and routing delivers every share of a
+//     batch even after one share's charge fails.
+//   - Structural restructuring (splits) runs to completion through
+//     errors, so the tree's shape never depends on fault timing; the
+//     first error is surfaced to the caller.
+//
+// On a permanent fault the affected records therefore remain either in
+// the tree or in a node buffer, Flush keeps returning the error, and
+// the load can resume after the storage is repaired (see
+// pager.Scrub) — the property the chaos suite in internal/verify
+// asserts schedule by schedule.
+
+// transientRetries bounds how many times the loader retries a pager
+// operation that failed with a transient fault before giving up and
+// propagating the error.
+const transientRetries = 3
 
 // BulkLoadConfig parameterizes a BulkLoader.
 type BulkLoadConfig struct {
@@ -40,6 +68,10 @@ type BulkLoadConfig struct {
 	// RecordBytes is the on-disk record size (32 for the Lands End
 	// layout, 36 for the synthetic one). Default 4 x dims.
 	RecordBytes int
+	// Fault, when non-nil, is installed as the pager's fault policy —
+	// the hook the chaos suite uses to inject storage failures into a
+	// load. Production loads leave it nil.
+	Fault pager.FaultPolicy
 }
 
 func (c BulkLoadConfig) withDefaults(dims int) BulkLoadConfig {
@@ -95,9 +127,14 @@ func NewBulkLoader(t *Tree, cfg BulkLoadConfig) (*BulkLoader, error) {
 	// with a tiny internal size keeps the counting semantics (pool
 	// capacity = MemoryBytes/PageSize pages, one transfer per page
 	// moved) while avoiding zeroing megabytes of real 4 KiB buffers.
+	pg, err := pager.New(8, poolPages)
+	if err != nil {
+		return nil, err
+	}
+	pg.SetFaultPolicy(cfg.Fault)
 	bl := &BulkLoader{
 		tree:        t,
-		pg:          pager.New(8, poolPages),
+		pg:          pg,
 		cfg:         cfg,
 		recsPerPage: cfg.PageSize / cfg.RecordBytes,
 		nodePages:   make(map[*node]pager.PageID),
@@ -114,8 +151,14 @@ func (bl *BulkLoader) Stats() pager.Stats { return bl.pg.Stats() }
 // ResetStats zeroes the I/O counters.
 func (bl *BulkLoader) ResetStats() { bl.pg.ResetStats() }
 
-// Close detaches the loader from the tree after flushing. The tree
-// remains fully usable (and further tuple inserts are ordinary inserts).
+// Pager exposes the loader's pager so tests and recovery tooling can
+// control fault schedules (SetFaultPolicy) and repair corruption
+// (Scrub); production loads should not need it.
+func (bl *BulkLoader) Pager() *pager.Pager { return bl.pg }
+
+// Close detaches the loader from the tree after flushing. On a flush
+// error the loader stays attached so the flush can be retried once the
+// storage recovers.
 func (bl *BulkLoader) Close() error {
 	if err := bl.Flush(); err != nil {
 		return err
@@ -124,59 +167,94 @@ func (bl *BulkLoader) Close() error {
 	return nil
 }
 
+// retry runs op, retrying a bounded number of times while it fails
+// with a transient storage fault. Anything in the error chain exposing
+// `Transient() bool` participates (see fault.IsTransient); the check
+// is duplicated here so the index does not depend on the injector
+// package.
+func (bl *BulkLoader) retry(op func() error) error {
+	var err error
+	for attempt := 0; attempt <= transientRetries; attempt++ {
+		err = op()
+		if err == nil {
+			return nil
+		}
+		var tr interface{ Transient() bool }
+		if !errors.As(err, &tr) || !tr.Transient() {
+			return err
+		}
+	}
+	return err
+}
+
 // Insert blocks one record in the root buffer, emptying it downward when
-// it exceeds the threshold.
+// it exceeds the threshold. On error the record is still blocked in the
+// tree's buffers (or already in a leaf) — only I/O charges failed — so
+// no record is ever silently dropped.
 func (bl *BulkLoader) Insert(rec attr.Record) error {
 	if len(rec.QI) != bl.tree.cfg.Schema.Dims() {
 		return fmt.Errorf("rplustree: record has %d attributes, tree has %d", len(rec.QI), bl.tree.cfg.Schema.Dims())
 	}
 	root := bl.tree.root
-	bl.appendBuffer(root, rec)
-	if len(root.buffer.recs) > bl.rootBufferCap() {
-		bl.emptyBuffer(root)
-	}
-	return nil
-}
-
-// InsertBatch blocks a batch of records.
-func (bl *BulkLoader) InsertBatch(recs []attr.Record) error {
-	for _, r := range recs {
-		if err := bl.Insert(r); err != nil {
-			return err
+	err := bl.appendBuffer(root, rec)
+	if root.buffer != nil && len(root.buffer.recs) > bl.rootBufferCap() {
+		if e := bl.emptyBuffer(root); err == nil {
+			err = e
 		}
 	}
-	return nil
+	return err
+}
+
+// InsertBatch blocks a batch of records. A failure mid-batch does not
+// silently drop the tail: every record is still inserted and the first
+// error is returned.
+func (bl *BulkLoader) InsertBatch(recs []attr.Record) error {
+	var err error
+	for _, r := range recs {
+		if e := bl.Insert(r); e != nil && err == nil {
+			err = e
+		}
+	}
+	return err
 }
 
 // Flush pushes every blocked record all the way into the leaves. Must be
-// called before reading anonymizations off the tree.
+// called before reading anonymizations off the tree. On error the
+// not-yet-drained buffers keep their records; Flush can be called again
+// once the storage recovers.
 func (bl *BulkLoader) Flush() error {
 	// Empty top-down: a node's buffer is emptied before its children's,
 	// so one pass drains every record to the leaf frontier. Child lists
 	// are snapshotted because restructuring replaces nodes mid-walk;
 	// revisiting a replaced node is harmless (its buffer is empty).
-	var drain func(n *node)
-	drain = func(n *node) {
+	var drain func(n *node) error
+	drain = func(n *node) error {
 		if n.buffer != nil && len(n.buffer.recs) > 0 {
-			bl.emptyBuffer(n)
+			if err := bl.emptyBuffer(n); err != nil {
+				return err
+			}
 		}
 		children := make([]*node, len(n.children))
 		copy(children, n.children)
 		for _, c := range children {
-			drain(c)
+			if err := drain(c); err != nil {
+				return err
+			}
 		}
+		return nil
 	}
 	// Restructuring during a drain can, in rare shapes, move a
 	// still-buffered node above an already-visited position; loop until
 	// a clean sweep (the second pass is almost always a no-op walk).
 	for {
-		drain(bl.tree.root)
+		if err := drain(bl.tree.root); err != nil {
+			return err
+		}
 		if !bl.anyPending(bl.tree.root) {
 			// Make the flushed state durable: dirty pages still in the
 			// pool are written back (and charged) now, so the I/O
 			// counters reflect a complete, persistent load.
-			bl.pg.Flush()
-			return nil
+			return bl.retry(bl.pg.Flush)
 		}
 	}
 }
@@ -205,77 +283,109 @@ func (bl *BulkLoader) rootBufferCap() int {
 }
 
 // appendBuffer blocks a record in n's buffer, spilling a cost page per
-// recsPerPage records.
-func (bl *BulkLoader) appendBuffer(n *node, rec attr.Record) {
+// recsPerPage records. The record is appended before any fallible
+// spill, so an error never loses it.
+func (bl *BulkLoader) appendBuffer(n *node, rec attr.Record) error {
 	if n.buffer == nil {
 		n.buffer = &nodeBuffer{}
 	}
 	n.buffer.recs = append(n.buffer.recs, rec)
-	bl.spillPages(n.buffer)
+	return bl.spillPages(n.buffer)
 }
 
-// appendBufferBatch blocks a batch in n's buffer in one append.
-func (bl *BulkLoader) appendBufferBatch(n *node, recs []attr.Record) {
+// appendBufferBatch blocks a batch in n's buffer in one append (the
+// batch lands before the fallible spill).
+func (bl *BulkLoader) appendBufferBatch(n *node, recs []attr.Record) error {
 	if len(recs) == 0 {
-		return
+		return nil
 	}
 	if n.buffer == nil {
 		n.buffer = &nodeBuffer{}
 	}
 	n.buffer.recs = append(n.buffer.recs, recs...)
-	bl.spillPages(n.buffer)
+	return bl.spillPages(n.buffer)
 }
 
 // spillPages allocates cost pages for every full page's worth of
 // buffered records not yet backed by one. The writes are charged when
-// the LRU evicts them (or at Flush).
-func (bl *BulkLoader) spillPages(buf *nodeBuffer) {
+// the LRU evicts them (or at Flush). On error the records stay
+// buffered and unbacked; a later spill of the same buffer resumes
+// where this one stopped.
+func (bl *BulkLoader) spillPages(buf *nodeBuffer) error {
 	for len(buf.pages) < len(buf.recs)/bl.recsPerPage {
-		id, _, err := bl.pg.Alloc()
+		var id pager.PageID
+		err := bl.retry(func() error {
+			nid, _, err := bl.pg.Alloc()
+			if err == nil {
+				id = nid
+			}
+			return err
+		})
 		if err != nil {
-			return
+			return err
 		}
 		bl.pg.Unpin(id)
 		buf.pages = append(buf.pages, id)
 	}
+	return nil
 }
 
 // takeBuffer drains n's buffer, charging reads for its spilled pages.
-func (bl *BulkLoader) takeBuffer(n *node) []attr.Record {
+// Every read is charged (and can fault) before the buffer is consumed,
+// so on error the buffer is intact and the emptying can be retried
+// without record loss.
+func (bl *BulkLoader) takeBuffer(n *node) ([]attr.Record, error) {
 	if n.buffer == nil {
-		return nil
+		return nil, nil
+	}
+	for _, id := range n.buffer.pages {
+		err := bl.retry(func() error {
+			if _, err := bl.pg.Read(id); err != nil {
+				return err
+			}
+			return bl.pg.Unpin(id)
+		})
+		if err != nil {
+			return nil, err
+		}
 	}
 	recs := n.buffer.recs
 	for _, id := range n.buffer.pages {
-		if _, err := bl.pg.Read(id); err == nil {
-			bl.pg.Unpin(id)
-		}
 		bl.pg.Free(id)
 	}
 	n.buffer = nil
-	return recs
+	return recs, nil
 }
 
 // touchNode charges a read (and optional write) of the node's proxy
 // page, allocating it on first touch.
-func (bl *BulkLoader) touchNode(n *node, dirty bool) {
+func (bl *BulkLoader) touchNode(n *node, dirty bool) error {
 	id, ok := bl.nodePages[n]
 	if !ok {
-		nid, _, err := bl.pg.Alloc()
+		var nid pager.PageID
+		err := bl.retry(func() error {
+			i, _, err := bl.pg.Alloc()
+			if err == nil {
+				nid = i
+			}
+			return err
+		})
 		if err != nil {
-			return
+			return err
 		}
 		bl.pg.Unpin(nid)
 		bl.nodePages[n] = nid
-		return // freshly allocated page is already dirty
+		return nil // freshly allocated page is already dirty
 	}
-	if _, err := bl.pg.Read(id); err != nil {
-		return
-	}
-	if dirty {
-		bl.pg.MarkDirty(id)
-	}
-	bl.pg.Unpin(id)
+	return bl.retry(func() error {
+		if _, err := bl.pg.Read(id); err != nil {
+			return err
+		}
+		if dirty {
+			bl.pg.MarkDirty(id)
+		}
+		return bl.pg.Unpin(id)
+	})
 }
 
 // dropNode releases a discarded node's proxy page.
@@ -295,16 +405,26 @@ func (bl *BulkLoader) dropNode(n *node) {
 // sweep per trie level instead of a root-to-leaf pointer chase per
 // record, which is what makes buffer emptying cheaper than
 // tuple-at-a-time insertion even for memory-resident data.
-func (bl *BulkLoader) emptyBuffer(n *node) {
-	recs := bl.takeBuffer(n)
-	if len(recs) == 0 {
-		return
+//
+// Error handling follows the file-level guarantee: takeBuffer is the
+// only early-out (the buffer is then intact and retryable); once the
+// batch is taken, it is pushed down in full and the first I/O-charge
+// error is collected and returned.
+func (bl *BulkLoader) emptyBuffer(n *node) error {
+	recs, err := bl.takeBuffer(n)
+	if err != nil {
+		return err
 	}
-	bl.touchNode(n, false)
+	if len(recs) == 0 {
+		return nil
+	}
+	err = bl.touchNode(n, false)
 
 	if n.isLeaf() {
-		bl.terminate(n, recs)
-		return
+		if e := bl.terminate(n, recs); err == nil {
+			err = e
+		}
+		return err
 	}
 	if bl.childrenAreLeaves(n) {
 		// Leaf frontier: partition the batch down the trie; each leaf's
@@ -312,12 +432,16 @@ func (bl *BulkLoader) emptyBuffer(n *node) {
 		// read+write charge, O(log) splits). Restructuring triggered by
 		// an earlier share never disturbs trie subtrees not yet
 		// visited, so the walk stays valid.
-		bl.routeTrie(n.trie, recs, bl.terminate)
-		return
+		if e := bl.routeTrie(n.trie, recs, bl.terminate); err == nil {
+			err = e
+		}
+		return err
 	}
 
 	// Interior: re-activate records into child buffers.
-	bl.routeTrie(n.trie, recs, bl.appendBufferBatch)
+	if e := bl.routeTrie(n.trie, recs, bl.appendBufferBatch); err == nil {
+		err = e
+	}
 	// Empty any child buffer that overflowed. No structural changes can
 	// have occurred above, so the child list is stable here; the
 	// recursion itself may restructure lower levels.
@@ -325,9 +449,12 @@ func (bl *BulkLoader) emptyBuffer(n *node) {
 	copy(children, n.children)
 	for _, c := range children {
 		if c.buffer != nil && len(c.buffer.recs) > bl.bufferCap {
-			bl.emptyBuffer(c)
+			if e := bl.emptyBuffer(c); e != nil && err == nil {
+				err = e
+			}
 		}
 	}
+	return err
 }
 
 // terminate lands a batch in a leaf and lets splits restructure upward.
@@ -336,12 +463,18 @@ func (bl *BulkLoader) emptyBuffer(n *node) {
 // one physical page, so the parent is the page-granular unit a real
 // layout would read and write (charging per tiny leaf would bill one
 // 4 KiB transfer per ~10 records, which no packed leaf file pays).
-func (bl *BulkLoader) terminate(leaf *node, recs []attr.Record) {
+// The charge is computed and attempted before the append (the append
+// re-parents the leaf), but its failure does not stop the records from
+// landing.
+func (bl *BulkLoader) terminate(leaf *node, recs []attr.Record) error {
 	if len(recs) == 0 {
-		return
+		return nil
 	}
-	bl.touchNode(unitOf(leaf), true)
-	bl.tree.bulkAppendLeaf(leaf, recs)
+	err := bl.touchNode(unitOf(leaf), true)
+	if e := bl.tree.bulkAppendLeaf(leaf, recs); err == nil {
+		err = e
+	}
+	return err
 }
 
 // unitOf maps a node to its page-granular I/O unit: leaves are billed
@@ -357,14 +490,15 @@ func unitOf(n *node) *node {
 // routeTrie partitions recs in place along the trie's hyperplanes and
 // hands each trie leaf's share to deliver. Trie nodes are only ever
 // re-parented by restructuring, never destroyed, so holding references
-// across deliver calls is safe.
-func (bl *BulkLoader) routeTrie(st *splitTrie, recs []attr.Record, deliver func(*node, []attr.Record)) {
+// across deliver calls is safe. Every share is delivered even after an
+// earlier share's delivery errors — an undelivered share would be
+// silent record loss — and the first error is returned.
+func (bl *BulkLoader) routeTrie(st *splitTrie, recs []attr.Record, deliver func(*node, []attr.Record) error) error {
 	if len(recs) == 0 {
-		return
+		return nil
 	}
 	if st.isLeaf() {
-		deliver(st.child, recs)
-		return
+		return deliver(st.child, recs)
 	}
 	lo, hi := 0, len(recs)
 	for lo < hi {
@@ -375,8 +509,11 @@ func (bl *BulkLoader) routeTrie(st *splitTrie, recs []attr.Record, deliver func(
 			recs[lo], recs[hi] = recs[hi], recs[lo]
 		}
 	}
-	bl.routeTrie(st.left, recs[:lo:lo], deliver)
-	bl.routeTrie(st.right, recs[lo:], deliver)
+	err := bl.routeTrie(st.left, recs[:lo:lo], deliver)
+	if e := bl.routeTrie(st.right, recs[lo:], deliver); err == nil {
+		err = e
+	}
+	return err
 }
 
 // childrenAreLeaves reports whether n's children are leaves (n is at the
@@ -390,18 +527,25 @@ func (bl *BulkLoader) childrenAreLeaves(n *node) bool {
 // the structure. Without a loader it is a no-op. A node being split
 // during buffer emptying always has an empty buffer (buffers empty
 // top-down before restructuring runs bottom-up), so the redistribution
-// loop below is a safety net for direct splits between flushes.
-func (t *Tree) splitBuffer(old, left, right *node, axis int, value float64) {
+// loop below is a safety net for direct splits between flushes. Every
+// blocked record is redistributed even when a spill charge fails
+// mid-loop; the first error is returned.
+func (t *Tree) splitBuffer(old, left, right *node, axis int, value float64) error {
 	bl := t.loader
 	if bl == nil {
-		return
+		return nil
 	}
+	var err error
 	if old.buffer != nil {
 		for _, r := range old.buffer.recs {
+			var e error
 			if r.QI[axis] < value {
-				bl.appendBuffer(left, r)
+				e = bl.appendBuffer(left, r)
 			} else {
-				bl.appendBuffer(right, r)
+				e = bl.appendBuffer(right, r)
+			}
+			if e != nil && err == nil {
+				err = e
 			}
 		}
 		for _, id := range old.buffer.pages {
@@ -414,10 +558,15 @@ func (t *Tree) splitBuffer(old, left, right *node, axis int, value float64) {
 	// halves live in (for leaf splits both halves share their parent's
 	// unit, so this is typically one page).
 	lu, ru := unitOf(left), unitOf(right)
-	bl.touchNode(lu, true)
-	if ru != lu {
-		bl.touchNode(ru, true)
+	if e := bl.touchNode(lu, true); e != nil && err == nil {
+		err = e
 	}
+	if ru != lu {
+		if e := bl.touchNode(ru, true); e != nil && err == nil {
+			err = e
+		}
+	}
+	return err
 }
 
 // loader field lives on Tree (declared here to keep tree.go free of

@@ -147,6 +147,47 @@ func (t *Tree) SearchLeaves(q attr.Box) []LeafView {
 	return out
 }
 
+// AuditNode is a read-only structural snapshot of one tree node. It
+// exists so an external auditor (internal/verify) can re-derive the
+// paper's safety properties — sibling disjointness, MBR containment,
+// occupancy — from the raw structure without trusting this package's
+// own CheckInvariants. Box and Record slices alias tree storage;
+// callers must not mutate them.
+type AuditNode struct {
+	// Region is the node's half-open routing region.
+	Region attr.Box
+	// MBR is the node's tight bounding box.
+	MBR attr.Box
+	// Count is the number of records beneath the node.
+	Count int
+	// Records is the leaf payload; nil for internal nodes.
+	Records []attr.Record
+	// Children are the node's children; nil for leaves.
+	Children []*AuditNode
+}
+
+// Leaf reports whether the snapshot node is a leaf.
+func (a *AuditNode) Leaf() bool { return a.Children == nil }
+
+// Audit returns a structural snapshot of the whole tree for external
+// invariant checking.
+func (t *Tree) Audit() *AuditNode {
+	var snap func(n *node) *AuditNode
+	snap = func(n *node) *AuditNode {
+		a := &AuditNode{Region: n.region, MBR: n.mbr, Count: n.count}
+		if n.isLeaf() {
+			a.Records = n.recs
+			return a
+		}
+		a.Children = make([]*AuditNode, len(n.children))
+		for i, c := range n.children {
+			a.Children[i] = snap(c)
+		}
+		return a
+	}
+	return snap(t.root)
+}
+
 // CheckInvariants verifies the structural invariants of the index and
 // returns the first violation found. It is exported for tests and for
 // the experiment harness's self-checks; it is O(n log n) and not meant

@@ -25,11 +25,24 @@
 package rplustree
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
 	"spatialanon/internal/attr"
 )
+
+// CorruptionError reports that the tree's in-memory structure violated
+// an invariant only corruption (or a bug) can explain — for example a
+// node being split that its parent does not reference. It is returned
+// rather than panicked so callers driving fault-injected storage can
+// observe the failure and recover; the offending mutation is not
+// applied, so the tree is exactly as it was before the call.
+type CorruptionError struct {
+	Detail string
+}
+
+func (e *CorruptionError) Error() string { return "rplustree: corrupt structure: " + e.Detail }
 
 // Config parameterizes a Tree.
 type Config struct {
@@ -194,13 +207,16 @@ func (t *Tree) MBR() attr.Box { return t.root.mbr.Clone() }
 
 // Insert adds one record, splitting nodes as needed (the tuple-loading
 // path; bulk loads should go through a BulkLoader or a packing loader).
+// On error the record has still been placed in the tree — errors come
+// from the storage cost model of an attached BulkLoader (see
+// bufferload.go), which charges I/O after records move — so a fault
+// never silently drops data.
 func (t *Tree) Insert(rec attr.Record) error {
 	if len(rec.QI) != t.cfg.Schema.Dims() {
 		return fmt.Errorf("rplustree: record has %d attributes, tree has %d", len(rec.QI), t.cfg.Schema.Dims())
 	}
 	leaf := t.routeToLeaf(t.root, rec.QI)
-	t.insertIntoLeaf(leaf, rec)
-	return nil
+	return t.insertIntoLeaf(leaf, rec)
 }
 
 // routeToLeaf descends from n to the unique leaf whose region contains p.
@@ -226,14 +242,15 @@ func routeChild(n *node, p []float64) *node {
 }
 
 // insertIntoLeaf places rec in leaf, updates MBRs and counts along the
-// root path, and splits on overflow.
-func (t *Tree) insertIntoLeaf(leaf *node, rec attr.Record) {
+// root path, and splits on overflow. The record lands before any split
+// runs, so a split error never loses it.
+func (t *Tree) insertIntoLeaf(leaf *node, rec attr.Record) error {
 	leaf.recs = append(leaf.recs, rec)
 	for n := leaf; n != nil; n = n.parent {
 		n.count++
 		n.mbr.Include(rec.QI)
 	}
-	t.splitLeafRecursive(leaf)
+	return t.splitLeafRecursive(leaf)
 }
 
 // bulkAppendLeaf places a batch of records in leaf at once: the root
@@ -242,9 +259,9 @@ func (t *Tree) insertIntoLeaf(leaf *node, rec attr.Record) {
 // what make buffer emptying cheaper than tuple-at-a-time insertion even
 // in memory — one path update and O(log) splits per group instead of
 // per record.
-func (t *Tree) bulkAppendLeaf(leaf *node, recs []attr.Record) {
+func (t *Tree) bulkAppendLeaf(leaf *node, recs []attr.Record) error {
 	if len(recs) == 0 {
-		return
+		return nil
 	}
 	leaf.recs = append(leaf.recs, recs...)
 	box := attr.NewBox(t.cfg.Schema.Dims())
@@ -255,32 +272,44 @@ func (t *Tree) bulkAppendLeaf(leaf *node, recs []attr.Record) {
 		n.count += len(recs)
 		n.mbr.IncludeBox(box)
 	}
-	t.splitLeafRecursive(leaf)
+	return t.splitLeafRecursive(leaf)
 }
 
 // splitLeafRecursive splits a leaf until every resulting leaf is within
-// capacity (bulk appends can leave a leaf many times over).
-func (t *Tree) splitLeafRecursive(leaf *node) {
+// capacity (bulk appends can leave a leaf many times over). A split
+// that reports an I/O error is still structurally complete, so
+// restructuring continues through errors — a fault leaves the tree in
+// the same shape a fault-free run would produce — and the first error
+// is surfaced.
+func (t *Tree) splitLeafRecursive(leaf *node) error {
 	if len(leaf.recs) <= t.cfg.leafCapacity() {
-		return
+		return nil
 	}
-	left, right, ok := t.splitLeaf(leaf)
+	left, right, ok, err := t.splitLeaf(leaf)
 	if !ok {
-		return
+		return err
 	}
-	t.splitLeafRecursive(left)
-	t.splitLeafRecursive(right)
+	if e := t.splitLeafRecursive(left); err == nil {
+		err = e
+	}
+	if e := t.splitLeafRecursive(right); err == nil {
+		err = e
+	}
+	return err
 }
 
 // splitLeaf divides an overflowing leaf along a policy-chosen
 // hyperplane, returning the two halves. ok is false when no axis can
 // separate the records (all points identical); the leaf is then left
-// oversized — the only correct option for duplicate-only data.
-func (t *Tree) splitLeaf(leaf *node) (leftOut, rightOut *node, ok bool) {
+// oversized — the only correct option for duplicate-only data. A
+// non-nil err with ok=true means the split is structurally complete
+// but an attached loader's I/O charge failed; with ok=false the tree
+// is untouched.
+func (t *Tree) splitLeaf(leaf *node) (leftOut, rightOut *node, ok bool, err error) {
 	ctx := &SplitContext{Schema: t.cfg.Schema, Domain: t.root.mbr, MBR: leaf.mbr, MinSide: t.cfg.BaseK}
 	axis, value, ok := t.cfg.Split.ChooseSplit(leaf.recs, ctx)
 	if !ok {
-		return nil, nil, false
+		return nil, nil, false, nil
 	}
 	leftRegion, rightRegion := splitRegion(leaf.region, axis, value)
 
@@ -307,12 +336,22 @@ func (t *Tree) splitLeaf(leaf *node) (leftOut, rightOut *node, ok bool) {
 	leftRecs := recs[:lo:lo]
 	rightRecs := recs[lo:]
 	if t.cfg.Guard != nil && !t.cfg.Guard(leftRecs, rightRecs) {
-		return nil, nil, false // constraint-violating split: the leaf grows instead
+		return nil, nil, false, nil // constraint-violating split: the leaf grows instead
 	}
 	left := &node{region: leftRegion, mbr: leftMBR, recs: leftRecs, count: len(leftRecs)}
 	right := &node{region: rightRegion, mbr: rightMBR, recs: rightRecs, count: len(rightRecs)}
-	t.replaceWithPair(leaf, left, right, axis, value)
-	return left, right, true
+	if err := t.replaceWithPair(leaf, left, right, axis, value); err != nil {
+		var ce *CorruptionError
+		if errors.As(err, &ce) {
+			// The structural substitution was refused before any
+			// mutation: leaf still holds every record (the in-place
+			// partition only reordered them) and the halves were never
+			// wired in.
+			return nil, nil, false, err
+		}
+		return left, right, true, err
+	}
+	return left, right, true, nil
 }
 
 // splitRegion cuts a half-open routing region at value along axis.
@@ -326,8 +365,11 @@ func splitRegion(region attr.Box, axis int, value float64) (left, right attr.Box
 
 // replaceWithPair substitutes old (a child of its parent, or the root)
 // with the two halves produced by splitting it at (axis, value), then
-// handles parent overflow.
-func (t *Tree) replaceWithPair(old, left, right *node, axis int, value float64) {
+// handles parent overflow. A *CorruptionError is returned before any
+// mutation when old is not wired into its parent; any other error
+// comes from an attached loader's I/O charges, after the structural
+// change is already complete.
+func (t *Tree) replaceWithPair(old, left, right *node, axis int, value float64) error {
 	parent := old.parent
 	if parent == nil {
 		// Root split: the tree grows a level.
@@ -346,40 +388,46 @@ func (t *Tree) replaceWithPair(old, left, right *node, axis int, value float64) 
 		right.parent = newRoot
 		t.root = newRoot
 		t.height++
-		t.splitBuffer(old, left, right, axis, value)
-		return
+		return t.splitBuffer(old, left, right, axis, value)
 	}
-	// Replace old in parent's child list and trie.
-	replaced := false
+	// Validate before mutating so a corruption failure leaves the tree
+	// exactly as it was (the old node keeps all its records).
+	idx := -1
 	for i, c := range parent.children {
 		if c == old {
-			parent.children[i] = left
-			replaced = true
+			idx = i
 			break
 		}
 	}
-	if !replaced {
-		panic("rplustree: split of node not present in its parent")
+	st := findTrieLeaf(parent.trie, old)
+	if idx < 0 {
+		return &CorruptionError{Detail: "split of node not present in its parent"}
 	}
+	if st == nil {
+		return &CorruptionError{Detail: "split of node not present in parent trie"}
+	}
+	// Replace old in parent's child list and trie.
+	parent.children[idx] = left
 	parent.children = append(parent.children, right)
 	left.parent = parent
 	right.parent = parent
 
-	st := findTrieLeaf(parent.trie, old)
-	if st == nil {
-		panic("rplustree: split of node not present in parent trie")
-	}
 	st.child = nil
 	st.axis = axis
 	st.value = value
 	st.left = &splitTrie{child: left}
 	st.right = &splitTrie{child: right}
 
-	t.splitBuffer(old, left, right, axis, value)
+	err := t.splitBuffer(old, left, right, axis, value)
 
 	if len(parent.children) > t.cfg.NodeCapacity {
-		t.splitInternal(parent)
+		// Restructuring runs to completion even after an I/O error so
+		// the tree's shape never depends on fault timing.
+		if e := t.splitInternal(parent); err == nil {
+			err = e
+		}
 	}
+	return err
 }
 
 // findTrieLeaf locates the trie leaf pointing at target.
@@ -399,9 +447,14 @@ func findTrieLeaf(st *splitTrie, target *node) *splitTrie {
 // splitInternal divides an overflowing internal node at its trie root
 // hyperplane. Because every child was created by recursively splitting
 // this node's region, the trie root hyperplane straddles no child.
-func (t *Tree) splitInternal(n *node) {
+func (t *Tree) splitInternal(n *node) error {
 	rootSplit := n.trie
 	if rootSplit.isLeaf() {
+		// Provable programmer-error invariant, deliberately kept a
+		// panic: an internal node only overflows past NodeCapacity >= 2
+		// children, and every child beyond the first was created by a
+		// trie split, so an overflowing node's trie root is never a
+		// leaf. No input or injected storage fault can reach this.
 		panic("rplustree: internal node with trivial trie cannot overflow")
 	}
 	axis, value := rootSplit.axis, rootSplit.value
@@ -424,7 +477,7 @@ func (t *Tree) splitInternal(n *node) {
 	// A trie subtree that is itself a leaf means that half has exactly
 	// one child; that is legal (NodeCapacity >= 2 guarantees both halves
 	// non-empty because the trie root has children on both sides).
-	t.replaceWithPair(n, left, right, axis, value)
+	return t.replaceWithPair(n, left, right, axis, value)
 }
 
 // Delete removes the record with the given ID located at point qi.
@@ -467,13 +520,13 @@ func (t *Tree) Delete(id int64, qi []float64) bool {
 }
 
 // Update relocates a record: it removes the record with the given ID at
-// its old coordinates and reinserts it with new ones.
-func (t *Tree) Update(id int64, oldQI []float64, rec attr.Record) bool {
+// its old coordinates and reinserts it with new ones. The bool reports
+// whether the record was found. A non-nil error means an attached
+// loader's I/O charge failed during reinsertion; the record has still
+// been reinserted (Insert places it before any fallible work).
+func (t *Tree) Update(id int64, oldQI []float64, rec attr.Record) (bool, error) {
 	if !t.Delete(id, oldQI) {
-		return false
+		return false, nil
 	}
-	if err := t.Insert(rec); err != nil {
-		return false
-	}
-	return true
+	return true, t.Insert(rec)
 }

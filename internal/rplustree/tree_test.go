@@ -252,7 +252,11 @@ func TestUpdate(t *testing.T) {
 	insertAll(t, tr, recs)
 	moved := recs[42].Clone()
 	moved.QI[0] = 99 // relocate on age
-	if !tr.Update(recs[42].ID, recs[42].QI, moved) {
+	found42, err := tr.Update(recs[42].ID, recs[42].QI, moved)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !found42 {
 		t.Fatal("Update failed")
 	}
 	if tr.Len() != 100 {
@@ -271,7 +275,7 @@ func TestUpdate(t *testing.T) {
 	if err := tr.CheckInvariants(); err != nil {
 		t.Fatal(err)
 	}
-	if tr.Update(12345, recs[0].QI, moved) {
+	if found, _ := tr.Update(12345, recs[0].QI, moved); found {
 		t.Fatal("Update of unknown record succeeded")
 	}
 }

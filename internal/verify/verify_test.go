@@ -1,0 +1,123 @@
+package verify
+
+import (
+	"strings"
+	"testing"
+
+	"spatialanon/internal/anonmodel"
+	"spatialanon/internal/attr"
+	"spatialanon/internal/dataset"
+	"spatialanon/internal/rplustree"
+)
+
+func patientTree(t *testing.T, k, n int, seed int64) *rplustree.Tree {
+	t.Helper()
+	tr, err := rplustree.New(rplustree.Config{Schema: dataset.PatientsSchema(), BaseK: k})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range dataset.GeneratePatients(n, seed) {
+		if err := tr.Insert(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tr
+}
+
+func TestTreeAuditPasses(t *testing.T) {
+	tr := patientTree(t, 5, 800, 31)
+	if err := Tree(tr, TreeOptions{}); err != nil {
+		t.Fatalf("audit of healthy tree: %v", err)
+	}
+	// Insert-only loads with more than one leaf keep every leaf at or
+	// above BaseK, so the occupancy floor must hold too.
+	if err := Tree(tr, TreeOptions{MinLeafOccupancy: 5}); err != nil {
+		t.Fatalf("occupancy audit of healthy tree: %v", err)
+	}
+}
+
+func TestTreeOccupancyFloorCatchesUnderfullLeaf(t *testing.T) {
+	tr := patientTree(t, 5, 800, 32)
+	// Drain one leaf below k by deleting its records: legal for the
+	// index (the leaf scan re-establishes k at publication), so the
+	// default audit passes, but the opt-in floor must flag it.
+	leaf := tr.Leaves()[0]
+	victims := append([]attr.Record(nil), leaf.Records...)
+	for _, r := range victims[:len(victims)-2] {
+		if !tr.Delete(r.ID, r.QI) {
+			t.Fatalf("delete of %d failed", r.ID)
+		}
+	}
+	if err := Tree(tr, TreeOptions{}); err != nil {
+		t.Fatalf("default audit after deletes: %v", err)
+	}
+	err := Tree(tr, TreeOptions{MinLeafOccupancy: 5})
+	if err == nil {
+		t.Fatal("occupancy floor missed an underfull leaf")
+	}
+	if !strings.Contains(err.Error(), "occupancy floor") {
+		t.Fatalf("unexpected violation: %v", err)
+	}
+}
+
+func part(box attr.Box, ids ...int64) anonmodel.Partition {
+	p := anonmodel.Partition{Box: box}
+	for _, id := range ids {
+		p.Records = append(p.Records, attr.Record{ID: id, QI: []float64{float64(id)}})
+	}
+	return p
+}
+
+func box(lo, hi float64) attr.Box { return attr.Box{{Lo: lo, Hi: hi}} }
+
+func TestReleaseAudit(t *testing.T) {
+	k2 := anonmodel.KAnonymity{K: 2}
+	good := []anonmodel.Partition{part(box(0, 3), 1, 2, 3), part(box(4, 6), 4, 5)}
+	if err := Release(good, k2); err != nil {
+		t.Fatalf("valid release rejected: %v", err)
+	}
+	cases := map[string][]anonmodel.Partition{
+		"undersized partition":  {part(box(0, 3), 1, 2, 3), part(box(4, 6), 4)},
+		"record outside box":    {part(box(0, 3), 1, 2, 3), part(box(40, 60), 4, 5)},
+		"duplicate publication": {part(box(0, 3), 1, 2, 3), part(box(0, 6), 3, 4)},
+		"empty partition":       {part(box(0, 3), 1, 2, 3), {Box: box(4, 6)}},
+	}
+	for name, ps := range cases {
+		if err := Release(ps, k2); err == nil {
+			t.Errorf("%s not flagged", name)
+		}
+	}
+	if err := Release(good, nil); err == nil {
+		t.Error("nil constraint accepted")
+	}
+}
+
+func TestReleasesKBoundness(t *testing.T) {
+	rel := func(ps ...anonmodel.Partition) []anonmodel.Partition { return ps }
+	b := box(0, 10)
+	fine := rel(part(b, 1, 2, 3), part(b, 4, 5, 6))
+	coarse := rel(part(b, 1, 2, 3, 4, 5, 6))
+	if err := Releases([][]anonmodel.Partition{fine, coarse}, 3); err != nil {
+		t.Fatalf("nested releases rejected: %v", err)
+	}
+	if err := Releases(nil, 3); err != nil {
+		t.Fatalf("empty family rejected: %v", err)
+	}
+
+	// Misaligned boundaries isolate record 4 in the intersection of
+	// fine's second partition and skewed's first — a Lemma 1 violation.
+	skewed := rel(part(b, 1, 2, 3, 4), part(b, 5, 6))
+	if err := Releases([][]anonmodel.Partition{fine, skewed}, 3); err == nil {
+		t.Fatal("intersection cell of 1 record not flagged")
+	}
+	// Record 6 missing from the second release.
+	missing := rel(part(b, 1, 2, 3, 4, 5))
+	if err := Releases([][]anonmodel.Partition{fine, missing}, 3); err == nil {
+		t.Fatal("missing record not flagged")
+	}
+	// Record 1 twice within one release.
+	dup := rel(part(b, 1, 2, 3), part(b, 1, 4, 5, 6))
+	if err := Releases([][]anonmodel.Partition{fine, dup}, 3); err == nil {
+		t.Fatal("duplicate within release not flagged")
+	}
+}
