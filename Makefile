@@ -14,9 +14,12 @@ vet:
 
 # `make test` always vets first: the robustness layer threads errors
 # through many call sites and vet's unused-result checks are cheap
-# insurance.
+# insurance. The packages carrying the parallel execution layer rerun
+# under the race detector on every test invocation — races there are
+# correctness bugs in the determinism guarantee, not perf noise.
 test: vet
 	$(GO) test ./...
+	$(GO) test -race ./internal/par ./internal/rplustree ./internal/mondrian ./internal/core
 
 # Full suite under the race detector.
 race:
@@ -31,9 +34,12 @@ fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzReadCSV -fuzztime=30s ./internal/dataset/
 	$(GO) test -run=NONE -fuzz=FuzzReadBinary -fuzztime=30s ./internal/dataset/
 
-# Full figure + ablation benchmark sweep (writes bench_output.txt).
+# Full figure + ablation benchmark sweep, 3 runs per benchmark for
+# variance. The raw log lands in bench_output.txt; the parsed baseline
+# (committed alongside the code) in BENCH_PR2.json.
 bench:
-	$(GO) test -bench . -benchmem ./... 2>&1 | tee bench_output.txt
+	$(GO) test -run NONE -bench . -benchmem -count=3 ./... 2>&1 | tee bench_output.txt
+	$(GO) run ./cmd/benchjson -in bench_output.txt -o BENCH_PR2.json
 
 cover:
 	$(GO) test -cover ./...

@@ -12,6 +12,7 @@ package spatialanon
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"spatialanon/internal/anonmodel"
@@ -34,19 +35,24 @@ const (
 
 var benchKs = []int{5, 10, 25, 100, 1000}
 
-// landsEnd returns (and caches) the benchmark data set.
+// landsEnd returns a fresh copy of the benchmark data set. Loaders and
+// partitioners reorder their input in place, so handing out the cache
+// itself would let one benchmark's run perturb the record order the
+// next one measures against.
 var leCache []attr.Record
 
 func landsEnd(n int) []attr.Record {
 	if len(leCache) < n {
 		leCache = dataset.GenerateLandsEnd(n, benchSeed)
 	}
-	return leCache[:n]
+	out := make([]attr.Record, n)
+	copy(out, leCache[:n])
+	return out
 }
 
-func newRT(b *testing.B, split rplustree.SplitPolicy, bulk bool) *core.RTreeAnonymizer {
+func newRT(b *testing.B, split rplustree.SplitPolicy, bulk bool, workers int) *core.RTreeAnonymizer {
 	b.Helper()
-	cfg := core.RTreeConfig{Schema: dataset.LandsEndSchema(), BaseK: 5, Split: split}
+	cfg := core.RTreeConfig{Schema: dataset.LandsEndSchema(), BaseK: 5, Split: split, Parallelism: workers}
 	if bulk {
 		cfg.BulkLoad = &rplustree.BulkLoadConfig{RecordBytes: 32}
 	}
@@ -55,6 +61,17 @@ func newRT(b *testing.B, split rplustree.SplitPolicy, bulk bool) *core.RTreeAnon
 		b.Fatal(err)
 	}
 	return rt
+}
+
+// benchWorkers returns the worker counts the parallel-vs-serial
+// benchmarks sweep: serial always, plus all cores when that differs.
+// Output is identical across counts, so the delta is pure wall-clock.
+func benchWorkers() []int {
+	ws := []int{1}
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		ws = append(ws, n)
+	}
+	return ws
 }
 
 // ---------------------------------------------------------------------------
@@ -69,44 +86,49 @@ func newRT(b *testing.B, split rplustree.SplitPolicy, bulk bool) *core.RTreeAnon
 func BenchmarkFig7aRTreeBulk(b *testing.B) {
 	recs := landsEnd(benchRecords)
 	for _, k := range benchKs {
-		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				rt := newRT(b, nil, true)
-				if err := rt.Load(recs); err != nil {
-					b.Fatal(err)
+		for _, w := range benchWorkers() {
+			b.Run(fmt.Sprintf("k=%d/workers=%d", k, w), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					rt := newRT(b, nil, true, w)
+					if err := rt.Load(recs); err != nil {
+						b.Fatal(err)
+					}
+					ps, err := rt.Partitions(k)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if len(ps) == 0 {
+						b.Fatal("no partitions")
+					}
 				}
-				ps, err := rt.Partitions(k)
-				if err != nil {
-					b.Fatal(err)
-				}
-				if len(ps) == 0 {
-					b.Fatal("no partitions")
-				}
-			}
-		})
+			})
+		}
 	}
 }
 
 func BenchmarkFig7aTopDown(b *testing.B) {
 	recs := landsEnd(benchRecords)
 	for _, k := range benchKs {
-		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				b.StopTimer()
-				cp := make([]attr.Record, len(recs))
-				copy(cp, recs)
-				b.StartTimer()
-				ps, err := mondrian.Anonymize(dataset.LandsEndSchema(), cp, mondrian.Options{
-					Constraint: anonmodel.KAnonymity{K: k},
-				})
-				if err != nil {
-					b.Fatal(err)
+		for _, w := range benchWorkers() {
+			b.Run(fmt.Sprintf("k=%d/workers=%d", k, w), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					cp := make([]attr.Record, len(recs))
+					copy(cp, recs)
+					b.StartTimer()
+					ps, err := mondrian.Anonymize(dataset.LandsEndSchema(), cp, mondrian.Options{
+						Constraint:  anonmodel.KAnonymity{K: k},
+						Parallelism: w,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if len(ps) == 0 {
+						b.Fatal("no partitions")
+					}
 				}
-				if len(ps) == 0 {
-					b.Fatal("no partitions")
-				}
-			}
-		})
+			})
+		}
 	}
 }
 
@@ -117,8 +139,8 @@ func BenchmarkFig7aTopDown(b *testing.B) {
 func BenchmarkFig7bIncrementalBatch(b *testing.B) {
 	const batch = 2000
 	recs := landsEnd(benchRecords)
-	fresh := dataset.GenerateLandsEnd(batch*(1+1), benchSeed+1)[batch:] // distinct tail batch
-	rt := newRT(b, nil, true)
+	fresh := dataset.GenerateLandsEnd(2*batch, benchSeed+1)[batch:] // distinct tail batch
+	rt := newRT(b, nil, true, 0)
 	if err := rt.Load(recs); err != nil {
 		b.Fatal(err)
 	}
@@ -217,7 +239,7 @@ func BenchmarkFig10Quality(b *testing.B) {
 		run  func() []anonmodel.Partition
 	}{
 		{"rtree", func() []anonmodel.Partition {
-			rt := newRT(b, nil, true)
+			rt := newRT(b, nil, true, 0)
 			if err := rt.Load(recs); err != nil {
 				b.Fatal(err)
 			}
@@ -284,7 +306,7 @@ func BenchmarkFig11IncrementalQuality(b *testing.B) {
 func BenchmarkFig12aQueryError(b *testing.B) {
 	recs := landsEnd(benchRecords)
 	queries := query.FullRangeWorkload(recs, 300, benchSeed)
-	rt := newRT(b, nil, true)
+	rt := newRT(b, nil, true, 0)
 	if err := rt.Load(recs); err != nil {
 		b.Fatal(err)
 	}
@@ -328,7 +350,7 @@ func BenchmarkFig12cBiasedSplit(b *testing.B) {
 	queries := query.SingleAttrWorkload(recs, zip, 300, benchSeed, domain)
 
 	run := func(b *testing.B, split rplustree.SplitPolicy) float64 {
-		rt := newRT(b, split, false)
+		rt := newRT(b, split, false, 0)
 		if err := rt.Load(recs); err != nil {
 			b.Fatal(err)
 		}
@@ -379,7 +401,7 @@ func BenchmarkAblationSplitPolicy(b *testing.B) {
 		b.Run(pol.name, func(b *testing.B) {
 			var cm float64
 			for i := 0; i < b.N; i++ {
-				rt := newRT(b, pol.split, false)
+				rt := newRT(b, pol.split, false, 0)
 				if err := rt.Load(recs); err != nil {
 					b.Fatal(err)
 				}
@@ -399,7 +421,7 @@ func BenchmarkAblationLoadPath(b *testing.B) {
 	recs := landsEnd(benchRecords)
 	b.Run("buffer-tree", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			rt := newRT(b, nil, true)
+			rt := newRT(b, nil, true, 0)
 			if err := rt.Load(recs); err != nil {
 				b.Fatal(err)
 			}
@@ -407,7 +429,7 @@ func BenchmarkAblationLoadPath(b *testing.B) {
 	})
 	b.Run("tuple", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			rt := newRT(b, nil, false)
+			rt := newRT(b, nil, false, 0)
 			if err := rt.Load(recs); err != nil {
 				b.Fatal(err)
 			}
@@ -473,7 +495,7 @@ func BenchmarkAblationIndexChoice(b *testing.B) {
 	b.Run("rtree", func(b *testing.B) {
 		var cm float64
 		for i := 0; i < b.N; i++ {
-			rt := newRT(b, nil, false)
+			rt := newRT(b, nil, false, 0)
 			if err := rt.Load(recs); err != nil {
 				b.Fatal(err)
 			}
@@ -507,7 +529,7 @@ func BenchmarkAblationIndexChoice(b *testing.B) {
 func BenchmarkAblationQuerySemantics(b *testing.B) {
 	recs := landsEnd(benchRecords)
 	queries := query.FullRangeWorkload(recs, 200, benchSeed+5)
-	rt := newRT(b, nil, false)
+	rt := newRT(b, nil, false, 0)
 	if err := rt.Load(recs); err != nil {
 		b.Fatal(err)
 	}

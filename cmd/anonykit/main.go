@@ -55,6 +55,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		bias    = fs.String("bias", "", "comma-separated attributes the rtree split policy should favor")
 		keyAttr = fs.String("key", "", "bptree only: the attribute to index on (default: first attribute)")
 		grans   = fs.String("granularities", "", "rtree only: comma-separated k values; emits one table per granularity (out.k<N>.csv) from a single index, verified collusion-safe")
+		workers = fs.Int("workers", 0, "worker goroutines for anonymization (0 = all cores, 1 = serial; output is identical for every setting)")
 		quiet   = fs.Bool("quiet", false, "suppress the quality report")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -64,6 +65,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 	schema, gen, err := schemaFor(*dsName)
 	if err != nil {
 		return err
+	}
+	if *workers < 0 {
+		return fmt.Errorf("-workers must be >= 0, got %d", *workers)
 	}
 	ks, err := validateFlags(schema, *algo, *n, *inPath != "", *k, *l, *alpha, *bias, *keyAttr, *grans, *outPath)
 	if err != nil {
@@ -91,7 +95,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
-	anonymizer, err := buildAnonymizer(*algo, schema, constraint, *doComp, *bias, *keyAttr)
+	anonymizer, err := buildAnonymizer(*algo, schema, constraint, *doComp, *bias, *keyAttr, *workers)
 	if err != nil {
 		return err
 	}
@@ -266,10 +270,10 @@ func buildConstraint(k, l int, alpha float64) (anonmodel.Constraint, error) {
 	return cons, nil
 }
 
-func buildAnonymizer(algo string, schema *attr.Schema, cons anonmodel.Constraint, doCompact bool, bias, keyAttr string) (core.Anonymizer, error) {
+func buildAnonymizer(algo string, schema *attr.Schema, cons anonmodel.Constraint, doCompact bool, bias, keyAttr string, workers int) (core.Anonymizer, error) {
 	switch algo {
 	case "rtree":
-		cfg := core.RTreeConfig{Schema: schema, Constraint: cons}
+		cfg := core.RTreeConfig{Schema: schema, Constraint: cons, Parallelism: workers}
 		if bias != "" {
 			var axes []int
 			for _, name := range strings.Split(bias, ",") {
@@ -284,17 +288,18 @@ func buildAnonymizer(algo string, schema *attr.Schema, cons anonmodel.Constraint
 		return core.NewRTreeAnonymizer(cfg)
 	case "mondrian", "mondrian-relaxed":
 		return &core.MondrianAnonymizer{
-			Schema:     schema,
-			Constraint: cons,
-			Relaxed:    algo == "mondrian-relaxed",
-			Compact:    doCompact,
+			Schema:      schema,
+			Constraint:  cons,
+			Relaxed:     algo == "mondrian-relaxed",
+			Compact:     doCompact,
+			Parallelism: workers,
 		}, nil
 	case "hilbert":
 		return &core.SFCAnonymizer{Curve: sfc.Hilbert, Constraint: cons}, nil
 	case "zorder":
 		return &core.SFCAnonymizer{Curve: sfc.ZOrder, Constraint: cons}, nil
 	case "grid":
-		return &core.GridAnonymizer{Schema: schema, Constraint: cons, Compact: doCompact}, nil
+		return &core.GridAnonymizer{Schema: schema, Constraint: cons, Compact: doCompact, Parallelism: workers}, nil
 	case "quad":
 		return &core.QuadAnonymizer{Schema: schema, Constraint: cons}, nil
 	case "bptree":

@@ -1,0 +1,143 @@
+// Command benchjson converts `go test -bench` text output into a
+// stable JSON document, so benchmark baselines can be committed and
+// diffed mechanically instead of eyeballing tee'd logs.
+//
+// Usage:
+//
+//	go test -bench . -benchmem -count=3 ./... | go run ./cmd/benchjson -o BENCH.json
+//	go run ./cmd/benchjson -in bench_output.txt
+//
+// Every benchmark result line becomes one record; with -count=N the
+// same benchmark name appears N times, preserving run-to-run variance.
+// Custom metrics emitted via b.ReportMetric (IOs, CM, meanErr, ...)
+// are captured alongside ns/op, B/op and allocs/op.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark result line.
+type Result struct {
+	Pkg  string `json:"pkg,omitempty"`
+	Name string `json:"name"`
+	// Iterations is the b.N the reported per-op figures were averaged
+	// over.
+	Iterations int64 `json:"iterations"`
+	// Metrics maps unit -> value, e.g. "ns/op": 31234567.
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Doc is the whole converted run.
+type Doc struct {
+	Goos       string   `json:"goos,omitempty"`
+	Goarch     string   `json:"goarch,omitempty"`
+	CPU        string   `json:"cpu,omitempty"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	inPath := fs.String("in", "", "input file (default stdin)")
+	outPath := fs.String("o", "", "output file (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	in := stdin
+	if *inPath != "" {
+		f, err := os.Open(*inPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	doc, err := Parse(in)
+	if err != nil {
+		return err
+	}
+	if len(doc.Benchmarks) == 0 {
+		return fmt.Errorf("no benchmark result lines found in input")
+	}
+	enc, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	enc = append(enc, '\n')
+	if *outPath != "" {
+		return os.WriteFile(*outPath, enc, 0o644)
+	}
+	_, err = stdout.Write(enc)
+	return err
+}
+
+// Parse reads `go test -bench` output. Lines it does not recognize
+// (test PASS/ok lines, build noise) are skipped, so piping a whole
+// multi-package run through is fine.
+func Parse(r io.Reader) (*Doc, error) {
+	doc := &Doc{}
+	pkg := ""
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			doc.Goos = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			doc.Goarch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "cpu: "):
+			doc.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "pkg: "):
+			pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "Benchmark"):
+			res, ok := parseResultLine(line)
+			if ok {
+				res.Pkg = pkg
+				doc.Benchmarks = append(doc.Benchmarks, res)
+			}
+		}
+	}
+	return doc, sc.Err()
+}
+
+// parseResultLine parses one result line of the form
+//
+//	BenchmarkName-8   38   31234567 ns/op   123 B/op   4 allocs/op   9 IOs
+//
+// i.e. name, iteration count, then (value, unit) pairs.
+func parseResultLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	// Need at least name, iterations, and one value-unit pair.
+	if len(fields) < 4 {
+		return Result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	res := Result{Name: fields[0], Iterations: iters, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		res.Metrics[fields[i+1]] = v
+	}
+	return res, len(res.Metrics) > 0
+}

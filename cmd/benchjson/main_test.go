@@ -1,0 +1,62 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: spatialanon
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkFig7aRTreeBulk/k=5/workers=1         	      38	  31234567 ns/op	 1234567 B/op	   12345 allocs/op
+BenchmarkFig7aRTreeBulk/k=5/workers=1         	      40	  30111222 ns/op	 1234000 B/op	   12300 allocs/op
+BenchmarkFig8bIOVsMemory/mem=8MB              	     100	     12345 ns/op	       924 IOs
+--- PASS: TestSomething (0.01s)
+PASS
+ok  	spatialanon	1.234s
+`
+
+func TestParse(t *testing.T) {
+	doc, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Goos != "linux" || doc.Goarch != "amd64" || !strings.Contains(doc.CPU, "Xeon") {
+		t.Fatalf("header not captured: %+v", doc)
+	}
+	if len(doc.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3 (count runs must stay separate)", len(doc.Benchmarks))
+	}
+	b0 := doc.Benchmarks[0]
+	if b0.Name != "BenchmarkFig7aRTreeBulk/k=5/workers=1" || b0.Pkg != "spatialanon" {
+		t.Fatalf("bad first record: %+v", b0)
+	}
+	if b0.Iterations != 38 || b0.Metrics["ns/op"] != 31234567 || b0.Metrics["allocs/op"] != 12345 {
+		t.Fatalf("bad first metrics: %+v", b0)
+	}
+	if doc.Benchmarks[2].Metrics["IOs"] != 924 {
+		t.Fatalf("custom metric lost: %+v", doc.Benchmarks[2])
+	}
+}
+
+func TestParseSkipsNoise(t *testing.T) {
+	noise := "Benchmark\nBenchmarkX notanumber 12 ns/op\nrandom text\n"
+	doc, err := Parse(strings.NewReader(noise))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Benchmarks) != 0 {
+		t.Fatalf("noise parsed as results: %+v", doc.Benchmarks)
+	}
+}
+
+func TestParseResultLineRejectsBadPairs(t *testing.T) {
+	if _, ok := parseResultLine("BenchmarkX 10 12 ns/op trailing"); !ok {
+		// A dangling odd field is ignored; the pairs before it count.
+		t.Fatal("line with complete leading pairs should parse")
+	}
+	if _, ok := parseResultLine("BenchmarkX 10"); ok {
+		t.Fatal("line with no metrics must not parse")
+	}
+}

@@ -1,0 +1,206 @@
+package spatialanon
+
+// Parallel execution in this repository promises more than "same
+// records, some order": every worker count must produce the identical
+// anonymization — the same partitions, in the same order, with the
+// same boxes, holding the same records in the same order — and, for
+// the buffer-tree loader, the same I/O counters. These tests pin that
+// promise for the three pipelines the `-workers` knob reaches: bulk
+// load, tuple-at-a-time load + leaf scan, and Mondrian. workers=1 is
+// the reference execution; 2 and 8 must match it exactly (8 on a
+// single-core runner still exercises the pool scheduling paths).
+
+import (
+	"testing"
+
+	"spatialanon/internal/anonmodel"
+	"spatialanon/internal/attr"
+	"spatialanon/internal/compact"
+	"spatialanon/internal/core"
+	"spatialanon/internal/dataset"
+	"spatialanon/internal/mondrian"
+	"spatialanon/internal/quality"
+	"spatialanon/internal/query"
+	"spatialanon/internal/rplustree"
+)
+
+const detRecords = 20000 // above the parallel-path thresholds (parSplitMin, parRouteMin)
+
+var detWorkerCounts = []int{1, 2, 8}
+
+func detRecsCopy(t *testing.T) []attr.Record {
+	t.Helper()
+	return dataset.GenerateLandsEnd(detRecords, benchSeed)
+}
+
+// mustEqualPartitions asserts got is exactly ref: same length, and per
+// partition the same box (bitwise float equality) and the same record
+// IDs in the same order.
+func mustEqualPartitions(t *testing.T, label string, ref, got []anonmodel.Partition) {
+	t.Helper()
+	if len(got) != len(ref) {
+		t.Fatalf("%s: %d partitions, want %d", label, len(got), len(ref))
+	}
+	for i := range ref {
+		r, g := ref[i], got[i]
+		if len(g.Box) != len(r.Box) {
+			t.Fatalf("%s: partition %d box dims %d, want %d", label, i, len(g.Box), len(r.Box))
+		}
+		for d := range r.Box {
+			if g.Box[d] != r.Box[d] {
+				t.Fatalf("%s: partition %d axis %d box %v, want %v", label, i, d, g.Box[d], r.Box[d])
+			}
+		}
+		if len(g.Records) != len(r.Records) {
+			t.Fatalf("%s: partition %d holds %d records, want %d", label, i, len(g.Records), len(r.Records))
+		}
+		for j := range r.Records {
+			if g.Records[j].ID != r.Records[j].ID {
+				t.Fatalf("%s: partition %d record %d has ID %d, want %d", label, i, j, g.Records[j].ID, r.Records[j].ID)
+			}
+		}
+	}
+}
+
+func buildBulk(t *testing.T, workers int) (*core.RTreeAnonymizer, []anonmodel.Partition, []anonmodel.Partition) {
+	t.Helper()
+	rt, err := core.NewRTreeAnonymizer(core.RTreeConfig{
+		Schema:      dataset.LandsEndSchema(),
+		BaseK:       5,
+		Parallelism: workers,
+		BulkLoad:    &rplustree.BulkLoadConfig{RecordBytes: 32},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Load(detRecsCopy(t)); err != nil {
+		t.Fatal(err)
+	}
+	base, err := rt.Partitions(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coarse, err := rt.Partitions(25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rt, base, coarse
+}
+
+// TestParallelBulkLoadDeterministic: the buffer-tree load, the split
+// cascades it triggers, and the leaf-scan publication must all be
+// invariant under the worker count — including the pager's I/O
+// counters, which only stay equal because structural mutation and
+// storage charging remain on the coordinating goroutine in serial
+// order.
+func TestParallelBulkLoadDeterministic(t *testing.T) {
+	refRT, refBase, refCoarse := buildBulk(t, 1)
+	refReads, refWrites := refRT.IOStats()
+	for _, w := range detWorkerCounts[1:] {
+		rt, base, coarse := buildBulk(t, w)
+		mustEqualPartitions(t, "bulk base", refBase, base)
+		mustEqualPartitions(t, "bulk k=25", refCoarse, coarse)
+		reads, writes := rt.IOStats()
+		if reads != refReads || writes != refWrites {
+			t.Fatalf("workers=%d: I/O %d reads/%d writes, want %d/%d — parallelism leaked into the storage schedule",
+				w, reads, writes, refReads, refWrites)
+		}
+		if err := rt.Tree().CheckInvariants(); err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+	}
+}
+
+// TestParallelTupleLoadDeterministic covers the tuple-at-a-time path:
+// inserts are serial, but split cascades of oversized leaves and the
+// leaf-scan publication go through the parallel layer.
+func TestParallelTupleLoadDeterministic(t *testing.T) {
+	build := func(w int) []anonmodel.Partition {
+		rt, err := core.NewRTreeAnonymizer(core.RTreeConfig{
+			Schema:      dataset.LandsEndSchema(),
+			BaseK:       5,
+			Parallelism: w,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := rt.Load(detRecsCopy(t)); err != nil {
+			t.Fatal(err)
+		}
+		ps, err := rt.Partitions(10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ps
+	}
+	ref := build(1)
+	for _, w := range detWorkerCounts[1:] {
+		mustEqualPartitions(t, "tuple k=10", ref, build(w))
+	}
+}
+
+// TestParallelMondrianDeterministic: the fork-join recursion assembles
+// its output left-half-first at every cut, so the partition list is
+// the serial one for every worker count, in both strict and relaxed
+// mode, with and without compaction.
+func TestParallelMondrianDeterministic(t *testing.T) {
+	for _, relaxed := range []bool{false, true} {
+		run := func(w int) []anonmodel.Partition {
+			ps, err := mondrian.Anonymize(dataset.LandsEndSchema(), detRecsCopy(t), mondrian.Options{
+				Constraint:  anonmodel.KAnonymity{K: 10},
+				Relaxed:     relaxed,
+				Parallelism: w,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return ps
+		}
+		ref := run(1)
+		refC := compact.PartitionsP(ref, 1)
+		for _, w := range detWorkerCounts[1:] {
+			got := run(w)
+			mustEqualPartitions(t, "mondrian", ref, got)
+			mustEqualPartitions(t, "mondrian+compact", refC, compact.PartitionsP(got, w))
+		}
+	}
+}
+
+// TestParallelEvaluatorsDeterministic: the metric and query evaluators
+// must return the identical values for every worker count — MeasureP
+// by its fixed chunked reduction, EvaluateP because queries never
+// share accumulators.
+func TestParallelEvaluatorsDeterministic(t *testing.T) {
+	recs := detRecsCopy(t)
+	schema := dataset.LandsEndSchema()
+	domain := attr.DomainOf(schema.Dims(), recs)
+	ps, err := mondrian.Anonymize(schema, detRecsCopy(t), mondrian.Options{
+		Constraint: anonmodel.KAnonymity{K: 10},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := query.FullRangeWorkload(recs, 100, benchSeed)
+	refRep := quality.MeasureP(schema, ps, domain, 1)
+	refRes, err := query.EvaluateP(ps, recs, queries, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range detWorkerCounts[1:] {
+		rep := quality.MeasureP(schema, ps, domain, w)
+		// KL is excluded: its map-ordered inner sum varies run to run
+		// even serially; DM and CM must match bit for bit.
+		if rep.Partitions != refRep.Partitions || rep.Discernibility != refRep.Discernibility || rep.Certainty != refRep.Certainty {
+			t.Fatalf("workers=%d: MeasureP %+v, want %+v", w, rep, refRep)
+		}
+		res, err := query.EvaluateP(ps, recs, queries, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range refRes {
+			if res[i].Original != refRes[i].Original || res[i].Anonymized != refRes[i].Anonymized || res[i].Err != refRes[i].Err {
+				t.Fatalf("workers=%d: query %d result %+v, want %+v", w, i, res[i], refRes[i])
+			}
+		}
+	}
+}

@@ -28,6 +28,7 @@ import (
 	"spatialanon/internal/compact"
 	"spatialanon/internal/gridfile"
 	"spatialanon/internal/mondrian"
+	"spatialanon/internal/par"
 	"spatialanon/internal/quadtree"
 	"spatialanon/internal/rplustree"
 	"spatialanon/internal/sfc"
@@ -55,12 +56,96 @@ type Anonymizer interface {
 // partition, which is what makes releases at several granularities
 // jointly safe (Lemma 1).
 func LeafScan(base []anonmodel.Partition, constraint anonmodel.Constraint) ([]anonmodel.Partition, error) {
+	return LeafScanP(base, constraint, 1)
+}
+
+// LeafScanP is LeafScan with a parallelism knob (0 = all cores, 1 =
+// serial). The scan itself is a sequential dependence chain — each
+// group boundary depends on the previous one — but for constraints
+// that are functions of group size alone (k-anonymity, conjunctions of
+// k-anonymities) the boundaries can be planned from partition sizes in
+// one cheap serial pass, after which the groups' record slices and
+// boxes are materialized concurrently. Output is identical to the
+// serial scan for every worker count; constraints that inspect record
+// contents (l-diversity, (α,k)) fall back to the serial scan.
+func LeafScanP(base []anonmodel.Partition, constraint anonmodel.Constraint, workers int) ([]anonmodel.Partition, error) {
 	if constraint == nil {
 		return nil, fmt.Errorf("core: nil constraint")
 	}
 	if len(base) == 0 {
 		return nil, nil
 	}
+	w := par.Workers(workers)
+	min, sizeOnly := sizeOnlyMin(constraint)
+	if w <= 1 || !sizeOnly {
+		return leafScanSerial(base, constraint)
+	}
+	// Plan the group boundaries from sizes alone: group g is
+	// base[bounds[g]:bounds[g+1]). run mirrors len(cur.Records) of the
+	// serial scan, so "run >= min" is exactly its Satisfied check.
+	bounds := []int{0}
+	run := 0
+	for i, p := range base {
+		run += len(p.Records)
+		if run >= min {
+			bounds = append(bounds, i+1)
+			run = 0
+		}
+	}
+	if run > 0 {
+		if len(bounds) == 1 {
+			return nil, fmt.Errorf("core: %d records cannot satisfy %v", run, constraint)
+		}
+		// Step LS4: absorb the unsatisfiable tail into the last group.
+		bounds[len(bounds)-1] = len(base)
+	}
+	// A tail of empty partitions with no records is dropped, as the
+	// serial scan drops an empty trailing accumulator.
+	dims := len(base[0].Box)
+	out := make([]anonmodel.Partition, len(bounds)-1)
+	par.Do(w, len(out), func(g int) {
+		group := base[bounds[g]:bounds[g+1]]
+		n := 0
+		for _, p := range group {
+			n += len(p.Records)
+		}
+		box := attr.NewBox(dims)
+		recs := make([]attr.Record, 0, n)
+		for _, p := range group {
+			recs = append(recs, p.Records...)
+			box.IncludeBox(p.Box)
+		}
+		out[g] = anonmodel.Partition{Box: box, Records: recs}
+	})
+	return out, nil
+}
+
+// sizeOnlyMin reports whether constraint is a pure function of group
+// size and, if so, the smallest satisfying size: Satisfied(recs) ⇔
+// len(recs) >= min. True for KAnonymity and for All built solely from
+// size-only constraints.
+func sizeOnlyMin(c anonmodel.Constraint) (min int, ok bool) {
+	switch v := c.(type) {
+	case anonmodel.KAnonymity:
+		return v.K, true
+	case anonmodel.All:
+		for _, sub := range v {
+			m, subOK := sizeOnlyMin(sub)
+			if !subOK {
+				return 0, false
+			}
+			if m > min {
+				min = m
+			}
+		}
+		return min, true
+	}
+	return 0, false
+}
+
+// leafScanSerial is the reference Figure 5 scan: one pass, one
+// accumulator. LeafScanP must match it exactly.
+func leafScanSerial(base []anonmodel.Partition, constraint anonmodel.Constraint) ([]anonmodel.Partition, error) {
 	dims := len(base[0].Box)
 	var out []anonmodel.Partition
 	cur := anonmodel.Partition{Box: attr.NewBox(dims)}
@@ -154,19 +239,24 @@ type MondrianAnonymizer struct {
 	Constraint anonmodel.Constraint
 	Relaxed    bool
 	Compact    bool
+	// Parallelism bounds worker goroutines for the recursion and the
+	// compaction pass (0 = all cores, 1 = serial; output identical
+	// either way).
+	Parallelism int
 }
 
 // Anonymize implements Anonymizer.
 func (m *MondrianAnonymizer) Anonymize(recs []attr.Record) ([]anonmodel.Partition, error) {
 	ps, err := mondrian.Anonymize(m.Schema, recs, mondrian.Options{
-		Constraint: m.Constraint,
-		Relaxed:    m.Relaxed,
+		Constraint:  m.Constraint,
+		Relaxed:     m.Relaxed,
+		Parallelism: m.Parallelism,
 	})
 	if err != nil {
 		return nil, err
 	}
 	if m.Compact {
-		ps = compact.Partitions(ps)
+		ps = compact.PartitionsP(ps, m.Parallelism)
 	}
 	return ps, nil
 }
@@ -206,6 +296,8 @@ type GridAnonymizer struct {
 	Constraint  anonmodel.Constraint
 	CellsPerDim int
 	Compact     bool
+	// Parallelism bounds worker goroutines for the compaction pass.
+	Parallelism int
 }
 
 // Anonymize implements Anonymizer.
@@ -218,7 +310,7 @@ func (g *GridAnonymizer) Anonymize(recs []attr.Record) ([]anonmodel.Partition, e
 		return nil, err
 	}
 	if g.Compact {
-		ps = compact.Partitions(ps)
+		ps = compact.PartitionsP(ps, g.Parallelism)
 	}
 	return ps, nil
 }

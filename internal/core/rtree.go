@@ -28,6 +28,12 @@ type RTreeConfig struct {
 	// BulkLoad, when non-nil, makes Load use buffer-tree bulk loading
 	// with this configuration; nil loads tuple-at-a-time.
 	BulkLoad *rplustree.BulkLoadConfig
+	// Parallelism bounds the worker goroutines used by bulk loading,
+	// split cascades and leaf-scan materialization: 0 uses all
+	// available cores, 1 (or negative) runs serially. Every setting
+	// produces the identical index, partitions and I/O counters; 1 is
+	// the reference execution.
+	Parallelism int
 }
 
 // RTreeAnonymizer is the paper's system: a spatial index whose leaves
@@ -64,6 +70,7 @@ func NewRTreeAnonymizer(cfg RTreeConfig) (*RTreeAnonymizer, error) {
 		LeafFactor:   cfg.LeafFactor,
 		NodeCapacity: cfg.NodeCapacity,
 		Split:        cfg.Split,
+		Parallelism:  cfg.Parallelism,
 	}
 	if _, plainK := constraint.(anonmodel.KAnonymity); !plainK {
 		c := constraint
@@ -189,7 +196,7 @@ func (a *RTreeAnonymizer) Anonymize(recs []attr.Record) ([]anonmodel.Partition, 
 // release set jointly collusion-safe (Lemma 1) even when individual
 // leaves dip below k.
 func (a *RTreeAnonymizer) Partitions(k1 int) ([]anonmodel.Partition, error) {
-	base, err := LeafScan(partitionsFromLeaves(a.tree.Leaves()), a.constraint)
+	base, err := LeafScanP(partitionsFromLeaves(a.tree.Leaves()), a.constraint, a.cfg.Parallelism)
 	if err != nil {
 		return nil, err
 	}
@@ -199,7 +206,7 @@ func (a *RTreeAnonymizer) Partitions(k1 int) ([]anonmodel.Partition, error) {
 	if k1 < a.tree.Config().BaseK {
 		return nil, fmt.Errorf("core: granularity %d below base k %d", k1, a.tree.Config().BaseK)
 	}
-	return LeafScan(base, anonmodel.All{a.constraint, anonmodel.KAnonymity{K: k1}})
+	return LeafScanP(base, anonmodel.All{a.constraint, anonmodel.KAnonymity{K: k1}}, a.cfg.Parallelism)
 }
 
 // HierarchicalRelease materializes the anonymized table from tree level

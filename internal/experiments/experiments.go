@@ -43,6 +43,12 @@ type Config struct {
 	Queries int
 	// Seed makes everything reproducible.
 	Seed int64
+	// Workers bounds the worker goroutines every anonymizer and
+	// evaluator in the suite may use: 0 uses all available cores, 1
+	// runs serially. Results are identical for every setting — only
+	// wall-clock time changes — so timing comparisons across Workers
+	// values measure the parallel execution layer itself.
+	Workers int
 }
 
 // Defaults returns a configuration that finishes the whole suite in CI
@@ -96,8 +102,9 @@ func (c Config) landsEnd() []attr.Record {
 // is requested.
 func (c Config) newRTree(bulk bool) (*core.RTreeAnonymizer, error) {
 	cfg := core.RTreeConfig{
-		Schema: dataset.LandsEndSchema(),
-		BaseK:  c.BaseK,
+		Schema:      dataset.LandsEndSchema(),
+		BaseK:       c.BaseK,
+		Parallelism: c.Workers,
 	}
 	if bulk {
 		cfg.BulkLoad = &rplustree.BulkLoadConfig{RecordBytes: 32}
@@ -108,8 +115,9 @@ func (c Config) newRTree(bulk bool) (*core.RTreeAnonymizer, error) {
 // mondrian builds the top-down baseline at anonymity k.
 func (c Config) mondrian(k int) *core.MondrianAnonymizer {
 	return &core.MondrianAnonymizer{
-		Schema:     dataset.LandsEndSchema(),
-		Constraint: anonmodel.KAnonymity{K: k},
+		Schema:      dataset.LandsEndSchema(),
+		Constraint:  anonmodel.KAnonymity{K: k},
+		Parallelism: c.Workers,
 	}
 }
 

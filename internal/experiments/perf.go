@@ -346,7 +346,7 @@ func Fig9(cfg Config, sizes []int) (*Fig9Result, error) {
 			return nil, err
 		}
 		comp, err := timeIt(func() error {
-			compact.Partitions(ps)
+			compact.PartitionsP(ps, cfg.Workers)
 			return nil
 		})
 		if err != nil {

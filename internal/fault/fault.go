@@ -122,6 +122,7 @@ type Config struct {
 // pager).
 type Injector struct {
 	cfg       Config
+	seed      int64
 	rng       *rand.Rand
 	ops       int
 	counts    map[Kind]int
@@ -133,10 +134,35 @@ type Injector struct {
 func NewInjector(seed int64, cfg Config) *Injector {
 	return &Injector{
 		cfg:       cfg,
+		seed:      seed,
 		rng:       rand.New(rand.NewSource(seed)),
 		counts:    make(map[Kind]int),
 		permanent: make(map[pager.PageID]bool),
 	}
+}
+
+// Seed returns the seed the injector was created with.
+func (in *Injector) Seed() int64 { return in.seed }
+
+// Derive returns a fresh injector with the same Config whose seed is a
+// deterministic function of this injector's seed and the shard index.
+// When a workload is sharded across goroutines, each shard gets its own
+// injector — injectors are not safe for concurrent use — and any
+// shard's schedule can be replayed in isolation from (parent seed,
+// shard) alone. The derivation is a splitmix64 mix, so neighboring
+// shard indices produce statistically independent streams (seed+1,
+// seed+2, ... would correlate under some PRNGs).
+func (in *Injector) Derive(shard int) *Injector {
+	return NewInjector(DeriveSeed(in.seed, shard), in.cfg)
+}
+
+// DeriveSeed is the seed derivation used by Derive, exported so
+// harnesses can name a shard's seed in failure reports.
+func DeriveSeed(parent int64, shard int) int64 {
+	z := uint64(parent) + uint64(shard+1)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
 }
 
 // BeforeRead implements pager.FaultPolicy.

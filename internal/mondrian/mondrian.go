@@ -19,6 +19,7 @@ import (
 
 	"spatialanon/internal/anonmodel"
 	"spatialanon/internal/attr"
+	"spatialanon/internal/par"
 )
 
 // Options configures an anonymization run.
@@ -30,7 +31,17 @@ type Options struct {
 	// The strict variant (default) keeps equal values together, as in
 	// the paper the authors of [19] provided to the authors.
 	Relaxed bool
+	// Parallelism bounds the worker goroutines used for the recursion:
+	// 0 uses all available cores, 1 (or negative) runs serially. The
+	// two halves of a cut own disjoint record subslices and the output
+	// is assembled left-half-first at every cut, so the partition list
+	// is identical for every setting.
+	Parallelism int
 }
+
+// parCutMin is the smallest half of a cut worth forking to another
+// worker; smaller halves recurse inline.
+const parCutMin = 1024
 
 // Anonymize partitions recs under the given options. The input slice is
 // reordered in place (callers needing original order should pass a
@@ -56,19 +67,22 @@ func Anonymize(schema *attr.Schema, recs []attr.Record, opt Options) ([]anonmode
 		return nil, fmt.Errorf("mondrian: input of %d records cannot satisfy %v", len(recs), opt.Constraint)
 	}
 	m := &state{schema: schema, opt: opt, domain: attr.DomainOf(schema.Dims(), recs)}
-	m.recurse(recs, m.domain.Clone())
-	return m.out, nil
+	return m.recurse(recs, m.domain.Clone(), par.NewPool(opt.Parallelism)), nil
 }
 
 type state struct {
 	schema *attr.Schema
 	opt    Options
 	domain attr.Box
-	out    []anonmodel.Partition
 }
 
-// recurse implements the Mondrian recursion on one partition.
-func (m *state) recurse(recs []attr.Record, region attr.Box) {
+// recurse implements the Mondrian recursion on one partition and
+// returns its published partitions in cut order (left half first).
+// After a cut the two halves alias disjoint subslices of recs and the
+// recursion reads only immutable state (schema, options, domain), so
+// large halves fork to the pool; the left-first assembly keeps the
+// output independent of the worker count.
+func (m *state) recurse(recs []attr.Record, region attr.Box, pool *par.Pool) []anonmodel.Partition {
 	// Fast reject: a partition that cannot be divided into two groups of
 	// MinSize records each has no allowable cut.
 	if len(recs) >= 2*m.opt.Constraint.MinSize() {
@@ -84,13 +98,19 @@ func (m *state) recurse(recs []attr.Record, region attr.Box) {
 			rRegion := region.Clone()
 			lRegion[axis].Hi = cut
 			rRegion[axis].Lo = cut
-			m.recurse(lhs, lRegion)
-			m.recurse(rhs, rRegion)
-			return
+			if len(rhs) >= parCutMin {
+				var rOut []anonmodel.Partition
+				join := pool.Fork(func() { rOut = m.recurse(rhs, rRegion, pool) })
+				lOut := m.recurse(lhs, lRegion, pool)
+				join()
+				return append(lOut, rOut...)
+			}
+			lOut := m.recurse(lhs, lRegion, pool)
+			return append(lOut, m.recurse(rhs, rRegion, pool)...)
 		}
 	}
 	// No allowable cut: publish this partition.
-	m.out = append(m.out, anonmodel.Partition{Box: region, Records: recs})
+	return []anonmodel.Partition{{Box: region, Records: recs}}
 }
 
 // axesByWidth orders the axes by descending normalized record spread —

@@ -1,0 +1,128 @@
+package par
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(4); got != 4 {
+		t.Fatalf("Workers(4) = %d", got)
+	}
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-3); got != 1 {
+		t.Fatalf("Workers(-3) = %d, want 1", got)
+	}
+}
+
+func TestDoCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 100} {
+		const n = 1000
+		var hits [n]atomic.Int32
+		Do(workers, n, func(i int) { hits[i].Add(1) })
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d hit %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestDoZeroAndSerialOrder(t *testing.T) {
+	Do(4, 0, func(int) { t.Fatal("fn called for n=0") })
+	var order []int
+	Do(1, 5, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if i != v {
+			t.Fatalf("serial Do out of order: %v", order)
+		}
+	}
+}
+
+func TestFirstErrLowestIndexWins(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		err := FirstErr(workers, 100, func(i int) error {
+			if i%7 == 3 { // fails at 3, 10, 17, ...
+				return fmt.Errorf("fail at %d", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "fail at 3" {
+			t.Fatalf("workers=%d: got %v, want fail at 3", workers, err)
+		}
+	}
+	if err := FirstErr(8, 50, func(int) error { return nil }); err != nil {
+		t.Fatalf("unexpected error %v", err)
+	}
+}
+
+func TestFirstErrRunsEveryIndex(t *testing.T) {
+	var ran atomic.Int32
+	boom := errors.New("boom")
+	err := FirstErr(4, 64, func(i int) error {
+		ran.Add(1)
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("got %v", err)
+	}
+	if ran.Load() != 64 {
+		t.Fatalf("ran %d of 64 indices", ran.Load())
+	}
+}
+
+func TestPoolForkJoin(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		p := NewPool(workers)
+		// Recursive sum via fork-join must equal the serial sum for
+		// every pool size, including the nil (workers=1) pool.
+		var sum func(lo, hi int) int
+		sum = func(lo, hi int) int {
+			if hi-lo <= 4 {
+				s := 0
+				for i := lo; i < hi; i++ {
+					s += i
+				}
+				return s
+			}
+			mid := (lo + hi) / 2
+			var right int
+			join := p.Fork(func() { right = sum(mid, hi) })
+			left := sum(lo, mid)
+			join()
+			return left + right
+		}
+		const n = 1 << 12
+		if got, want := sum(0, n), n*(n-1)/2; got != want {
+			t.Fatalf("workers=%d: sum=%d want %d", workers, got, want)
+		}
+	}
+}
+
+func TestPoolNilAlwaysInline(t *testing.T) {
+	var p *Pool
+	ran := false
+	join := p.Fork(func() { ran = true })
+	if !ran {
+		t.Fatal("nil pool must run inline before Fork returns")
+	}
+	join()
+}
+
+func TestPoolForkRepanics(t *testing.T) {
+	p := NewPool(4)
+	// Occupy no slots; fork should go to a goroutine and the panic
+	// must resurface at join, not crash the process.
+	join := p.Fork(func() { panic("kaboom") })
+	defer func() {
+		if r := recover(); r != "kaboom" {
+			t.Fatalf("recovered %v, want kaboom", r)
+		}
+	}()
+	join()
+}

@@ -19,6 +19,7 @@ import (
 
 	"spatialanon/internal/anonmodel"
 	"spatialanon/internal/attr"
+	"spatialanon/internal/par"
 )
 
 // Discernibility returns DM(T) = Σ|Pᵢ|² (Definition 3). Each tuple is
@@ -112,21 +113,32 @@ func KLDivergence(ps []anonmodel.Partition) float64 {
 	}
 	kl := 0.0
 	for _, p := range ps {
-		if p.Size() == 0 {
-			continue
-		}
-		cells := boxCells(p.Box)
-		mass := float64(p.Size()) / n // partition's share of p2
-		// Group identical tuples within the partition: p1(t) = c_t/n.
-		counts := make(map[string]int, p.Size())
-		for _, r := range p.Records {
-			counts[pointKey(r.QI)]++
-		}
-		for _, c := range counts {
-			p1 := float64(c) / n
-			p2 := mass / cells
-			kl += p1 * math.Log(p1/p2)
-		}
+		kl += klPartition(p, n)
+	}
+	return kl
+}
+
+// klPartition is one partition's contribution to KL(p₁‖p₂) in a table
+// of n tuples. The tuple-grouping map iterates in random order, so the
+// low bits of the sum can vary run to run — a property of the serial
+// metric that predates parallel evaluation; chunked reduction adds no
+// further variance on top of it.
+func klPartition(p anonmodel.Partition, n float64) float64 {
+	if p.Size() == 0 {
+		return 0
+	}
+	cells := boxCells(p.Box)
+	mass := float64(p.Size()) / n // partition's share of p2
+	// Group identical tuples within the partition: p1(t) = c_t/n.
+	counts := make(map[string]int, p.Size())
+	for _, r := range p.Records {
+		counts[pointKey(r.QI)]++
+	}
+	kl := 0.0
+	for _, c := range counts {
+		p1 := float64(c) / n
+		p2 := mass / cells
+		kl += p1 * math.Log(p1/p2)
 	}
 	return kl
 }
@@ -173,4 +185,50 @@ func Measure(s *attr.Schema, ps []anonmodel.Partition, domain attr.Box) Report {
 		Certainty:      Certainty(s, ps, domain),
 		KLDivergence:   KLDivergence(ps),
 	}
+}
+
+// measureChunk is the fixed reduction granule of MeasureP. Partials
+// are computed per chunk and combined in chunk order, so the chunk
+// boundaries — not the worker schedule — define the floating-point
+// summation tree.
+const measureChunk = 64
+
+// MeasureP computes all three metrics with up to `workers` goroutines
+// (0 = all cores, 1 = serial). Per-partition terms are accumulated
+// into fixed 64-partition chunks and the chunk partials are summed in
+// chunk order, making the result independent of the worker count; for
+// tables of more than one chunk the summation tree differs from
+// Measure's flat left-to-right sum, so the two can disagree in the
+// last bits. Use one or the other consistently when comparing runs.
+func MeasureP(s *attr.Schema, ps []anonmodel.Partition, domain attr.Box, workers int) Report {
+	n := len(ps)
+	if n == 0 {
+		return Report{}
+	}
+	total := float64(anonmodel.TotalRecords(ps))
+	chunks := (n + measureChunk - 1) / measureChunk
+	type partial struct{ dm, cm, kl float64 }
+	parts := make([]partial, chunks)
+	par.Do(workers, chunks, func(c int) {
+		lo := c * measureChunk
+		hi := lo + measureChunk
+		if hi > n {
+			hi = n
+		}
+		var pt partial
+		for _, p := range ps[lo:hi] {
+			sz := float64(p.Size())
+			pt.dm += sz * sz
+			pt.cm += sz * ncpBox(s, p.Box, domain)
+			pt.kl += klPartition(p, total)
+		}
+		parts[c] = pt
+	})
+	r := Report{Partitions: n}
+	for _, pt := range parts {
+		r.Discernibility += pt.dm
+		r.Certainty += pt.cm
+		r.KLDivergence += pt.kl
+	}
+	return r
 }

@@ -18,6 +18,7 @@ import (
 
 	"spatialanon/internal/anonmodel"
 	"spatialanon/internal/attr"
+	"spatialanon/internal/par"
 )
 
 // FullRangeWorkload generates n queries of the Section 5.4 form: for
@@ -126,11 +127,22 @@ type Result struct {
 // seed queries from real records) are rejected to keep the normalized
 // error well-defined.
 func Evaluate(ps []anonmodel.Partition, recs []attr.Record, queries []attr.Box) ([]Result, error) {
+	return EvaluateP(ps, recs, queries, 1)
+}
+
+// EvaluateP is Evaluate with a parallelism knob (0 = all cores, 1 =
+// serial). Queries evaluate independently — each writes only its own
+// result slot and the per-query arithmetic involves no cross-query
+// accumulation — so results are identical for every worker count, and
+// on failure the reported error is the lowest-indexed failing query,
+// matching the serial scan.
+func EvaluateP(ps []anonmodel.Partition, recs []attr.Record, queries []attr.Box, workers int) ([]Result, error) {
 	out := make([]Result, len(queries))
-	for i, q := range queries {
+	err := par.FirstErr(workers, len(queries), func(i int) error {
+		q := queries[i]
 		orig := CountOriginal(recs, q)
 		if orig == 0 {
-			return nil, fmt.Errorf("query: query %d has zero original count; normalized error undefined", i)
+			return fmt.Errorf("query: query %d has zero original count; normalized error undefined", i)
 		}
 		anon := CountAnonymized(ps, q)
 		out[i] = Result{
@@ -139,6 +151,10 @@ func Evaluate(ps []anonmodel.Partition, recs []attr.Record, queries []attr.Box) 
 			Anonymized: anon,
 			Err:        float64(anon-orig) / float64(orig),
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

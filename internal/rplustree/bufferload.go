@@ -6,6 +6,7 @@ import (
 
 	"spatialanon/internal/attr"
 	"spatialanon/internal/pager"
+	"spatialanon/internal/par"
 )
 
 // This file implements the buffer-tree bulk loading algorithm of
@@ -488,17 +489,55 @@ func unitOf(n *node) *node {
 }
 
 // routeTrie partitions recs in place along the trie's hyperplanes and
-// hands each trie leaf's share to deliver. Trie nodes are only ever
-// re-parented by restructuring, never destroyed, so holding references
-// across deliver calls is safe. Every share is delivered even after an
-// earlier share's delivery errors — an undelivered share would be
-// silent record loss — and the first error is returned.
+// hands each trie leaf's share to deliver, in trie order. Every share
+// is delivered even after an earlier share's delivery errors — an
+// undelivered share would be silent record loss — and the first error
+// is returned.
+//
+// Routing is two-phase: partitionTrie does the pure in-place
+// partitioning first (forking disjoint halves to worker goroutines for
+// large batches), then the shares are delivered serially on this
+// goroutine. Deliveries mutate child buffers, the pager and — at the
+// leaf frontier — the tree itself, so they stay on the loading
+// goroutine in trie order, exactly the serial sequence. Restructuring
+// triggered by an earlier share's delivery never disturbs the node
+// pointers of later shares (splits re-parent nodes, never destroy
+// them), so capturing the shares up front is safe.
 func (bl *BulkLoader) routeTrie(st *splitTrie, recs []attr.Record, deliver func(*node, []attr.Record) error) error {
 	if len(recs) == 0 {
 		return nil
 	}
+	var pool *par.Pool
+	if par.Workers(bl.tree.cfg.Parallelism) > 1 && len(recs) >= parRouteMin {
+		pool = par.NewPool(bl.tree.cfg.Parallelism)
+	}
+	shares := partitionTrie(st, recs, pool)
+	var err error
+	for _, s := range shares {
+		if e := deliver(s.child, s.recs); e != nil && err == nil {
+			err = e
+		}
+	}
+	return err
+}
+
+// trieShare is one trie leaf's share of a routed batch.
+type trieShare struct {
+	child *node
+	recs  []attr.Record
+}
+
+// partitionTrie splits recs in place along the trie's hyperplanes
+// without delivering anything, returning the non-empty shares in trie
+// order. It touches only the batch slice — never the tree, buffers or
+// pager — so the two sides of a hyperplane, which own disjoint
+// subslices after the Hoare sweep, can be partitioned concurrently.
+func partitionTrie(st *splitTrie, recs []attr.Record, pool *par.Pool) []trieShare {
+	if len(recs) == 0 {
+		return nil
+	}
 	if st.isLeaf() {
-		return deliver(st.child, recs)
+		return []trieShare{{child: st.child, recs: recs}}
 	}
 	lo, hi := 0, len(recs)
 	for lo < hi {
@@ -509,11 +548,16 @@ func (bl *BulkLoader) routeTrie(st *splitTrie, recs []attr.Record, deliver func(
 			recs[lo], recs[hi] = recs[hi], recs[lo]
 		}
 	}
-	err := bl.routeTrie(st.left, recs[:lo:lo], deliver)
-	if e := bl.routeTrie(st.right, recs[lo:], deliver); err == nil {
-		err = e
+	lRecs, rRecs := recs[:lo:lo], recs[lo:]
+	if len(rRecs) >= parRouteMin {
+		var rShares []trieShare
+		join := pool.Fork(func() { rShares = partitionTrie(st.right, rRecs, pool) })
+		lShares := partitionTrie(st.left, lRecs, pool)
+		join()
+		return append(lShares, rShares...)
 	}
-	return err
+	lShares := partitionTrie(st.left, lRecs, pool)
+	return append(lShares, partitionTrie(st.right, rRecs, pool)...)
 }
 
 // childrenAreLeaves reports whether n's children are leaves (n is at the

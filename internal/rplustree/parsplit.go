@@ -1,0 +1,169 @@
+package rplustree
+
+// Parallel split cascades: the plan-then-wire execution of bulk-load
+// leaf splitting.
+//
+// The serial cascade (splitLeafRecursive -> splitLeaf) interleaves two
+// very different kinds of work: pure computation (choosing hyperplanes,
+// Hoare-partitioning record ranges, accumulating MBRs) and shared-state
+// mutation (wiring nodes into the tree, redistributing buffers,
+// charging the attached loader's pager). The computation dominates —
+// a bulk load splits leaves holding large fractions of the data set at
+// every level — and it decomposes perfectly: once a leaf's records are
+// partitioned at a hyperplane, the two halves never interact again.
+//
+// This file therefore splits the cascade into two phases:
+//
+//  1. planSplits recursively chooses and evaluates every split of an
+//     oversized record set WITHOUT touching the tree. Each recursion
+//     step owns a disjoint subslice of the leaf's record array, so the
+//     two halves of a split can be planned on different goroutines
+//     (par.Pool fork-join) with no locks and no false sharing. The
+//     split context is frozen once per cascade: ctx.Domain (= the root
+//     MBR) provably cannot change while a cascade runs, because record
+//     appends update ancestor MBRs before any splitting starts and
+//     restructuring never changes them.
+//  2. applySplits wires the planned nodes into the tree on the calling
+//     goroutine, in exactly the order the serial recursion uses
+//     (pre-order, left half first). Structural restructuring, buffer
+//     redistribution and pager charges therefore happen in the
+//     identical sequence, which keeps not only the tree but also the
+//     I/O counters of Figure 8 bit-identical for every worker count.
+//
+// Why not one pager per subtree worker instead? Sharding the pager
+// would hand each worker MemoryBytes/W of pool, making the measured
+// I/O depend on the worker count — the Figure 8 reproduction would
+// change meaning under -workers — and stitching independently built
+// subtrees of different heights back under one root would need
+// height-equalizing surgery the paper's algorithm never performs. The
+// chosen ownership model is stated in DESIGN.md ("Concurrency model"):
+// the pager remains confined to the goroutine driving the load; worker
+// goroutines never see it.
+
+import (
+	"errors"
+
+	"spatialanon/internal/attr"
+	"spatialanon/internal/par"
+)
+
+const (
+	// parSplitMin is the smallest oversized leaf routed through the
+	// plan-then-wire path, and within a plan the smallest half worth
+	// forking to another worker. Below it the fork overhead (one
+	// goroutine + one channel) outweighs the partition scan.
+	parSplitMin = 2048
+	// parRouteMin is the smallest batch worth forking during trie
+	// routing (bufferload.go): routing is one compare-and-swap sweep
+	// per level, much cheaper per record than split planning.
+	parRouteMin = 4096
+)
+
+// splitPlan is one planned leaf split: the hyperplane, the two halves'
+// routing regions, tight MBRs and record ranges (aliasing the original
+// leaf's array, already partitioned in place), and the deeper splits of
+// each half (nil when the half fits leaf capacity or cannot split).
+type splitPlan struct {
+	axis  int
+	value float64
+
+	lRegion, rRegion attr.Box
+	lMBR, rMBR       attr.Box
+	lRecs, rRecs     []attr.Record
+
+	lSub, rSub *splitPlan
+}
+
+// splitLeafPlanned runs one full cascade over an oversized leaf via
+// plan-then-wire. It is called instead of the serial recursion when
+// the tree's Parallelism admits more than one worker and the leaf is
+// large enough to matter; its observable effect is identical.
+func (t *Tree) splitLeafPlanned(leaf *node) error {
+	pool := par.NewPool(t.cfg.Parallelism)
+	// Freeze the split context's Domain for the cascade. Cloning (not
+	// aliasing) makes the worker goroutines' reads independent of the
+	// tree even in exotic interleavings, and costs one small box.
+	domain := t.root.mbr.Clone()
+	plan := t.planSplits(leaf.recs, leaf.region, leaf.mbr, domain, pool)
+	return t.applySplits(leaf, plan)
+}
+
+// planSplits recursively plans the splits of recs, which tile `region`
+// and have tight bound `mbr`. recs is partitioned in place exactly as
+// the serial splitLeaf would (Hoare sweep, left = strictly below the
+// hyperplane); no tree state is read or written, so halves fork freely.
+func (t *Tree) planSplits(recs []attr.Record, region, mbr, domain attr.Box, pool *par.Pool) *splitPlan {
+	if len(recs) <= t.cfg.leafCapacity() {
+		return nil
+	}
+	ctx := &SplitContext{Schema: t.cfg.Schema, Domain: domain, MBR: mbr, MinSide: t.cfg.BaseK}
+	axis, value, ok := t.cfg.Split.ChooseSplit(recs, ctx)
+	if !ok {
+		return nil // all points identical: the leaf stays oversized
+	}
+	lRegion, rRegion := splitRegion(region, axis, value)
+	lMBR := attr.NewBox(len(region))
+	rMBR := attr.NewBox(len(region))
+	lo, hi := 0, len(recs)
+	for lo < hi {
+		if recs[lo].QI[axis] < value {
+			lMBR.Include(recs[lo].QI)
+			lo++
+		} else {
+			hi--
+			recs[lo], recs[hi] = recs[hi], recs[lo]
+			rMBR.Include(recs[hi].QI)
+		}
+	}
+	lRecs := recs[:lo:lo]
+	rRecs := recs[lo:]
+	if t.cfg.Guard != nil && !t.cfg.Guard(lRecs, rRecs) {
+		return nil // constraint-violating split: the leaf grows instead
+	}
+	p := &splitPlan{
+		axis: axis, value: value,
+		lRegion: lRegion, rRegion: rRegion,
+		lMBR: lMBR, rMBR: rMBR,
+		lRecs: lRecs, rRecs: rRecs,
+	}
+	if len(rRecs) >= parSplitMin {
+		join := pool.Fork(func() { p.rSub = t.planSplits(rRecs, rRegion, rMBR, domain, pool) })
+		p.lSub = t.planSplits(lRecs, lRegion, lMBR, domain, pool)
+		join()
+	} else {
+		p.lSub = t.planSplits(lRecs, lRegion, lMBR, domain, pool)
+		p.rSub = t.planSplits(rRecs, rRegion, rMBR, domain, pool)
+	}
+	return p
+}
+
+// applySplits wires a planned cascade into the tree. It runs on the
+// goroutine driving the load and performs replaceWithPair calls in the
+// serial recursion's order (pre-order, left first), so parent
+// overflow splits, buffer redistribution and loader I/O charges fire
+// in the identical sequence. Error semantics mirror the serial path: a
+// *CorruptionError aborts the subtree untouched (the leaf keeps every
+// record — planning only reordered them); any other error is an I/O
+// charge on an already-complete structural change, so wiring continues
+// and the first error is surfaced.
+func (t *Tree) applySplits(leaf *node, p *splitPlan) error {
+	if p == nil {
+		return nil
+	}
+	left := &node{region: p.lRegion, mbr: p.lMBR, recs: p.lRecs, count: len(p.lRecs)}
+	right := &node{region: p.rRegion, mbr: p.rMBR, recs: p.rRecs, count: len(p.rRecs)}
+	err := t.replaceWithPair(leaf, left, right, p.axis, p.value)
+	if err != nil {
+		var ce *CorruptionError
+		if errors.As(err, &ce) {
+			return err
+		}
+	}
+	if e := t.applySplits(left, p.lSub); err == nil {
+		err = e
+	}
+	if e := t.applySplits(right, p.rSub); err == nil {
+		err = e
+	}
+	return err
+}

@@ -30,6 +30,7 @@ import (
 	"math"
 
 	"spatialanon/internal/attr"
+	"spatialanon/internal/par"
 )
 
 // CorruptionError reports that the tree's in-memory structure violated
@@ -73,6 +74,17 @@ type Config struct {
 	// guard requiring both halves to satisfy the constraint, and leaves
 	// grow instead of splitting whenever a split would violate it.
 	Guard func(left, right []attr.Record) bool
+	// Parallelism caps the worker goroutines used for bulk-load split
+	// cascades and batch routing (see parsplit.go). 0 uses every
+	// available core, 1 (or negative) runs serially. The tree built is
+	// identical — structure, leaf order, even the attached loader's
+	// I/O counters — for every setting: workers execute only pure
+	// computations over disjoint record ranges while all tree wiring
+	// and pager traffic stays on the calling goroutine in serial
+	// order. Split and Guard must be safe for concurrent calls when
+	// Parallelism != 1 (every policy in this package is: they are
+	// stateless).
+	Parallelism int
 }
 
 func (c Config) withDefaults() Config {
@@ -281,9 +293,18 @@ func (t *Tree) bulkAppendLeaf(leaf *node, recs []attr.Record) error {
 // restructuring continues through errors — a fault leaves the tree in
 // the same shape a fault-free run would produce — and the first error
 // is surfaced.
+//
+// Large cascades are routed through the plan-then-wire path of
+// parsplit.go, which computes the exact same splits (possibly on
+// worker goroutines) before wiring them in serially; the two paths are
+// interchangeable by construction and the determinism suite holds them
+// to it.
 func (t *Tree) splitLeafRecursive(leaf *node) error {
 	if len(leaf.recs) <= t.cfg.leafCapacity() {
 		return nil
+	}
+	if par.Workers(t.cfg.Parallelism) > 1 && len(leaf.recs) >= parSplitMin {
+		return t.splitLeafPlanned(leaf)
 	}
 	left, right, ok, err := t.splitLeaf(leaf)
 	if !ok {
