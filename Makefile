@@ -2,15 +2,27 @@
 
 GO ?= go
 
-.PHONY: all build test vet race chaos fuzz bench cover experiments examples clean
+# Parameterized benchmark baseline: `make bench BENCH=BENCH_PR3.json`
+# writes a new baseline without editing the Makefile.
+BENCH ?= BENCH_BASELINE.json
+
+.PHONY: all build test vet lint race chaos fuzz bench cover experiments examples clean
 
 all: vet test
 
 build:
 	$(GO) build ./...
 
+# `make vet` is the whole static gate: the stock go vet suite plus
+# anonylint, the project's multichecker (internal/lint) — pager
+# confinement, determinism, panic policy and k-parameter validation.
 vet:
 	$(GO) vet ./...
+	$(GO) run ./cmd/anonylint ./...
+
+# anonylint alone, for quick iteration on lint findings.
+lint:
+	$(GO) run ./cmd/anonylint ./...
 
 # `make test` always vets first: the robustness layer threads errors
 # through many call sites and vet's unused-result checks are cheap
@@ -36,10 +48,10 @@ fuzz:
 
 # Full figure + ablation benchmark sweep, 3 runs per benchmark for
 # variance. The raw log lands in bench_output.txt; the parsed baseline
-# (committed alongside the code) in BENCH_PR2.json.
+# (committed alongside the code) in $(BENCH).
 bench:
 	$(GO) test -run NONE -bench . -benchmem -count=3 ./... 2>&1 | tee bench_output.txt
-	$(GO) run ./cmd/benchjson -in bench_output.txt -o BENCH_PR2.json
+	$(GO) run ./cmd/benchjson -in bench_output.txt -o $(BENCH)
 
 cover:
 	$(GO) test -cover ./...

@@ -154,8 +154,8 @@ func validateFlags(schema *attr.Schema, algo string, n int, haveIn bool, k, l in
 	if !known {
 		return nil, fmt.Errorf("unknown algorithm %q (want one of %s)", algo, strings.Join(algoNames, ", "))
 	}
-	if k < 1 {
-		return nil, fmt.Errorf("-k must be >= 1, got %d", k)
+	if k < 2 {
+		return nil, fmt.Errorf("-k must be >= 2 (k=1 is no anonymity), got %d", k)
 	}
 	if !haveIn && n < 1 {
 		return nil, fmt.Errorf("-n must be >= 1 when generating records, got %d", n)
@@ -255,8 +255,8 @@ func schemaFor(name string) (*attr.Schema, func(int, int64) []attr.Record, error
 }
 
 func buildConstraint(k, l int, alpha float64) (anonmodel.Constraint, error) {
-	if k < 1 {
-		return nil, fmt.Errorf("k must be >= 1, got %d", k)
+	if k < 2 {
+		return nil, fmt.Errorf("k must be >= 2 (k=1 is no anonymity), got %d", k)
 	}
 	var cons anonmodel.Constraint = anonmodel.KAnonymity{K: k}
 	switch {

@@ -112,8 +112,9 @@ func TestFlagValidation(t *testing.T) {
 		args []string
 		want string // substring of the error message
 	}{
-		{"negative k", []string{"-k", "-3"}, "-k must be >= 1"},
-		{"zero k", []string{"-k", "0"}, "-k must be >= 1"},
+		{"negative k", []string{"-k", "-3"}, "-k must be >= 2"},
+		{"zero k", []string{"-k", "0"}, "-k must be >= 2"},
+		{"identity k", []string{"-k", "1"}, "-k must be >= 2"},
 		{"unknown algo", []string{"-algo", "kd-tree"}, `unknown algorithm "kd-tree"`},
 		{"zero n", []string{"-n", "0"}, "-n must be >= 1"},
 		{"negative n", []string{"-n", "-5"}, "-n must be >= 1"},

@@ -1,0 +1,94 @@
+// Command anonylint is the project's multichecker: it runs the four
+// project-specific analyzers (pagerconfine, detrand, panicpolicy,
+// kparam — see internal/lint) over the given package patterns and
+// exits nonzero when any finding is reported.
+//
+// Usage:
+//
+//	anonylint [-list] [packages]
+//
+// Patterns default to ./... and follow the go tool's directory-pattern
+// forms ("./...", "./internal/query"). anonylint must run from inside
+// the module so module-local imports resolve. Findings print as
+//
+//	path/file.go:line:col: analyzer: message
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"spatialanon/internal/lint"
+	"spatialanon/internal/lint/analysis"
+	"spatialanon/internal/lint/load"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers and their scopes, then exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: anonylint [-list] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if *list {
+		for _, a := range lint.Suite() {
+			doc, _, _ := strings.Cut(a.Doc, "\n")
+			fmt.Printf("%-14s %s\n", a.Name, doc)
+		}
+		return
+	}
+	n, err := run(flag.Args(), os.Stdout)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "anonylint: %v\n", err)
+		os.Exit(2)
+	}
+	if n > 0 {
+		os.Exit(1)
+	}
+}
+
+// run loads the patterns, applies the suite and prints findings,
+// returning how many were reported.
+func run(patterns []string, out *os.File) (int, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		return 0, err
+	}
+	pkgs, err := load.NewLoader().Patterns(cwd, patterns)
+	if err != nil {
+		return 0, err
+	}
+	suite := lint.Suite()
+	count := 0
+	for _, pkg := range pkgs {
+		for _, a := range suite {
+			if !a.Applies(pkg.Path) {
+				continue
+			}
+			diags, err := analysis.Run(a.Analyzer, pkg.Fset, pkg.Files, pkg.Types, pkg.Info)
+			if err != nil {
+				return count, fmt.Errorf("%s on %s: %w", a.Name, pkg.Path, err)
+			}
+			for _, d := range diags {
+				pos := pkg.Fset.Position(d.Pos)
+				fmt.Fprintf(out, "%s:%d:%d: %s\n", relTo(cwd, pos.Filename), pos.Line, pos.Column, d.Message)
+				count++
+			}
+		}
+	}
+	return count, nil
+}
+
+func relTo(base, path string) string {
+	rel, err := filepath.Rel(base, path)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return path
+	}
+	return rel
+}

@@ -81,6 +81,23 @@ type Constraint interface {
 	fmt.Stringer
 }
 
+// Validate rejects constraints whose parameters cannot provide
+// anonymity: every algorithm entry point calls it before touching
+// data, so a k below 2 — the identity function wearing a privacy
+// label — fails in microseconds with one clear message. Constraint
+// implementations outside this package may provide their own
+// `Validate() error`; those without one are accepted as-is (the
+// Constraint interface predates validation and must stay small).
+func Validate(c Constraint) error {
+	if c == nil {
+		return fmt.Errorf("anonmodel: nil constraint")
+	}
+	if v, ok := c.(interface{ Validate() error }); ok {
+		return v.Validate()
+	}
+	return nil
+}
+
 // KAnonymity is the vanilla requirement: at least K records per
 // partition.
 type KAnonymity struct{ K int }
@@ -90,6 +107,16 @@ func (c KAnonymity) Satisfied(recs []attr.Record) bool { return len(recs) >= c.K
 
 // MinSize implements Constraint.
 func (c KAnonymity) MinSize() int { return c.K }
+
+// Validate rejects K < 2: with K = 1 every record is its own
+// equivalence class and the "anonymized" release is the original
+// table.
+func (c KAnonymity) Validate() error {
+	if c.K < 2 {
+		return fmt.Errorf("anonmodel: k-anonymity needs k >= 2, got %d", c.K)
+	}
+	return nil
+}
 
 func (c KAnonymity) String() string { return fmt.Sprintf("%d-anonymity", c.K) }
 
@@ -124,6 +151,19 @@ func (c LDiversity) MinSize() int {
 	return c.K
 }
 
+// Validate rejects K < 2 (no anonymity) and L < 2 (distinct
+// l-diversity with one allowed sensitive value adds nothing and is
+// invariably a mistyped parameter).
+func (c LDiversity) Validate() error {
+	if c.K < 2 {
+		return fmt.Errorf("anonmodel: l-diversity needs k >= 2, got %d", c.K)
+	}
+	if c.L < 2 {
+		return fmt.Errorf("anonmodel: l-diversity needs l >= 2, got %d", c.L)
+	}
+	return nil
+}
+
 func (c LDiversity) String() string { return fmt.Sprintf("(%d,%d)-k-anonymity+l-diversity", c.K, c.L) }
 
 // AlphaK is (α,k)-anonymity [32]: at least K records, and no single
@@ -155,6 +195,18 @@ func (c AlphaK) Satisfied(recs []attr.Record) bool {
 // MinSize implements Constraint.
 func (c AlphaK) MinSize() int { return c.K }
 
+// Validate rejects K < 2 and Alpha outside (0, 1): alpha >= 1 never
+// constrains anything, alpha <= 0 can never be satisfied.
+func (c AlphaK) Validate() error {
+	if c.K < 2 {
+		return fmt.Errorf("anonmodel: (α,k)-anonymity needs k >= 2, got %d", c.K)
+	}
+	if c.Alpha <= 0 || c.Alpha >= 1 {
+		return fmt.Errorf("anonmodel: (α,k)-anonymity needs α in (0,1), got %g", c.Alpha)
+	}
+	return nil
+}
+
 func (c AlphaK) String() string { return fmt.Sprintf("(%g,%d)-anonymity", c.Alpha, c.K) }
 
 // All combines constraints conjunctively: a group is allowable only when
@@ -182,6 +234,19 @@ func (cs All) MinSize() int {
 		}
 	}
 	return m
+}
+
+// Validate validates every constituent constraint.
+func (cs All) Validate() error {
+	if len(cs) == 0 {
+		return fmt.Errorf("anonmodel: empty constraint conjunction")
+	}
+	for _, c := range cs {
+		if err := Validate(c); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func (cs All) String() string {

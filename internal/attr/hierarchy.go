@@ -103,6 +103,8 @@ func BuildHierarchy(root *HNode) (*Hierarchy, error) {
 func MustBuildHierarchy(root *HNode) *Hierarchy {
 	h, err := BuildHierarchy(root)
 	if err != nil {
+		// invariant: Must* is for statically-known hierarchies only; a
+		// failure here is a programmer error, never runtime input.
 		panic(err)
 	}
 	return h
@@ -125,6 +127,8 @@ func FlatHierarchy(rootLabel string, values ...string) (*Hierarchy, error) {
 func MustFlatHierarchy(rootLabel string, values ...string) *Hierarchy {
 	h, err := FlatHierarchy(rootLabel, values...)
 	if err != nil {
+		// invariant: Must* is for statically-known value lists only; a
+		// failure here is a programmer error, never runtime input.
 		panic(err)
 	}
 	return h

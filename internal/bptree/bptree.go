@@ -30,7 +30,8 @@ type Config struct {
 	// Key is the attribute index the tree is built on.
 	Key int
 	// BaseK is N_min, the minimum leaf occupancy (the anonymity
-	// parameter the leaves deliver). Required, >= 1.
+	// parameter the leaves deliver). Required, >= 2: a leaf of one
+	// record is an identity release, not anonymity.
 	BaseK int
 	// LeafFactor c sets N_max = c*BaseK. Must be >= 2 (a median split
 	// of an overflowing leaf then leaves both halves >= BaseK).
@@ -75,8 +76,8 @@ func New(cfg Config) (*Tree, error) {
 	if cfg.Key < 0 || cfg.Key >= cfg.Schema.Dims() {
 		return nil, fmt.Errorf("bptree: key attribute %d outside schema", cfg.Key)
 	}
-	if cfg.BaseK < 1 {
-		return nil, fmt.Errorf("bptree: BaseK %d < 1", cfg.BaseK)
+	if cfg.BaseK < 2 {
+		return nil, fmt.Errorf("bptree: BaseK %d provides no anonymity; need >= 2", cfg.BaseK)
 	}
 	if cfg.LeafFactor == 0 {
 		cfg.LeafFactor = 2

@@ -21,6 +21,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"spatialanon/internal/anonmodel"
 	"spatialanon/internal/attr"
@@ -205,18 +206,31 @@ func VerifyCollusionSafety(releases [][]anonmodel.Partition, k int) error {
 			}
 		}
 	}
+	// Walk records in ID order so the error witness — which record or
+	// cell is reported first — is deterministic rather than whatever
+	// the map iteration happened to visit.
+	recIDs := make([]int64, 0, len(assign))
+	for id := range assign {
+		recIDs = append(recIDs, id)
+	}
+	sort.Slice(recIDs, func(a, b int) bool { return recIDs[a] < recIDs[b] })
 	cells := make(map[cellKey]int)
-	for id, ids := range assign {
+	cellOrder := make([]cellKey, 0)
+	for _, id := range recIDs {
+		ids := assign[id]
 		for ri, pi := range ids {
 			if pi == -1 {
 				return fmt.Errorf("core: record %d missing from release %d", id, ri)
 			}
 		}
 		key := cellKey(fmt.Sprint(ids))
+		if _, seen := cells[key]; !seen {
+			cellOrder = append(cellOrder, key)
+		}
 		cells[key]++
 	}
-	for key, n := range cells {
-		if n < k {
+	for _, key := range cellOrder {
+		if n := cells[key]; n < k {
 			return fmt.Errorf("core: intersection cell %s holds %d records < k=%d — collusion breaks k-anonymity", key, n, k)
 		}
 	}

@@ -46,23 +46,48 @@ type RTreeAnonymizer struct {
 	loader     *rplustree.BulkLoader
 }
 
-// NewRTreeAnonymizer builds an empty anonymizing index.
-func NewRTreeAnonymizer(cfg RTreeConfig) (*RTreeAnonymizer, error) {
+// Validate checks the configuration without building anything: the
+// schema must be present and the effective constraint must pass
+// anonmodel.Validate (in particular, any k below 2 is rejected — k=1
+// "anonymity" is the identity release).
+func (cfg RTreeConfig) Validate() error {
+	_, _, err := cfg.resolve()
+	return err
+}
+
+// resolve applies the Constraint/BaseK defaulting rules and validates
+// the result, returning the effective constraint and base k.
+func (cfg RTreeConfig) resolve() (anonmodel.Constraint, int, error) {
 	if cfg.Schema == nil {
-		return nil, fmt.Errorf("core: nil schema")
+		return nil, 0, fmt.Errorf("core: nil schema")
 	}
 	constraint := cfg.Constraint
 	baseK := cfg.BaseK
 	switch {
 	case constraint == nil && baseK == 0:
-		return nil, fmt.Errorf("core: need a Constraint or a BaseK")
+		return nil, 0, fmt.Errorf("core: need a Constraint or a BaseK")
 	case constraint == nil:
 		constraint = anonmodel.KAnonymity{K: baseK}
 	case baseK == 0:
 		baseK = constraint.MinSize()
 	}
+	if err := anonmodel.Validate(constraint); err != nil {
+		return nil, 0, err
+	}
+	if baseK < 2 {
+		return nil, 0, fmt.Errorf("core: BaseK %d provides no anonymity; need >= 2", baseK)
+	}
 	if baseK < constraint.MinSize() {
-		return nil, fmt.Errorf("core: BaseK %d below constraint minimum %d", baseK, constraint.MinSize())
+		return nil, 0, fmt.Errorf("core: BaseK %d below constraint minimum %d", baseK, constraint.MinSize())
+	}
+	return constraint, baseK, nil
+}
+
+// NewRTreeAnonymizer builds an empty anonymizing index.
+func NewRTreeAnonymizer(cfg RTreeConfig) (*RTreeAnonymizer, error) {
+	constraint, baseK, err := cfg.resolve()
+	if err != nil {
+		return nil, err
 	}
 	tcfg := rplustree.Config{
 		Schema:       cfg.Schema,

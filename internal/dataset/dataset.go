@@ -25,6 +25,7 @@ import (
 	"math/rand"
 
 	"spatialanon/internal/attr"
+	"spatialanon/internal/detrng"
 )
 
 // Stream produces records one at a time so that larger-than-memory data
@@ -90,35 +91,12 @@ func newStream(n int, gen func(id int64) attr.Record) *Stream {
 // recRand returns a deterministic RNG for record id under seed. Deriving
 // per-record RNGs (rather than sharing one sequential RNG) keeps
 // generation order-independent, which the incremental experiments rely on
-// when they re-generate a prefix of a data set. The source is a
-// SplitMix64 stream: seeding is O(1), unlike math/rand's default source,
-// which makes generating multi-million-record data sets cheap.
+// when they re-generate a prefix of a data set. detrng's SplitMix64
+// streams seed in O(1), unlike math/rand's default source, which makes
+// generating multi-million-record data sets cheap.
 func recRand(seed, id int64) *rand.Rand {
-	const golden = int64(-7046029254386353131) // 0x9e3779b97f4a7c15 as int64
-	return rand.New(&splitmixSource{state: uint64(seed ^ (id+1)*golden)})
+	return detrng.New(detrng.Derive(seed, id))
 }
-
-// splitmixSource is a rand.Source64 over the SplitMix64 generator
-// (Steele, Lea & Flood 2014). Each Uint64 advances the state by the
-// golden gamma and mixes it through the finalizer.
-type splitmixSource struct {
-	state uint64
-}
-
-// Uint64 implements rand.Source64.
-func (s *splitmixSource) Uint64() uint64 {
-	s.state += 0x9e3779b97f4a7c15
-	z := s.state
-	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-	return z ^ (z >> 31)
-}
-
-// Int63 implements rand.Source.
-func (s *splitmixSource) Int63() int64 { return int64(s.Uint64() >> 1) }
-
-// Seed implements rand.Source.
-func (s *splitmixSource) Seed(seed int64) { s.state = uint64(seed) }
 
 // zipfIndex draws an index in [0,n) with a Zipf-like skew: rank r has
 // probability proportional to 1/(r+1)^s. Implemented by inverse-CDF on a

@@ -1,9 +1,8 @@
 package dataset
 
 import (
-	"math/rand"
-
 	"spatialanon/internal/attr"
+	"spatialanon/internal/detrng"
 )
 
 // Lands End-like data set: eight attributes matching the paper's
@@ -250,7 +249,7 @@ func GeneratePatients(n int, seed int64) []attr.Record {
 // incremental experiments shuffle once so that batch order is not
 // correlated with generation order.
 func Shuffle(recs []attr.Record, seed int64) {
-	rng := rand.New(rand.NewSource(seed))
+	rng := detrng.New(seed)
 	rng.Shuffle(len(recs), func(i, j int) { recs[i], recs[j] = recs[j], recs[i] })
 }
 
@@ -258,7 +257,7 @@ func Shuffle(recs []attr.Record, seed int64) {
 // under seed. Used to pick query endpoints from data sets too large to
 // materialize.
 func Sample(s *Stream, m int, seed int64) []attr.Record {
-	rng := rand.New(rand.NewSource(seed))
+	rng := detrng.New(seed)
 	out := make([]attr.Record, 0, m)
 	seen := 0
 	for {

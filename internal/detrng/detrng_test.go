@@ -1,0 +1,52 @@
+package detrng
+
+import "testing"
+
+// TestKnownAnswer pins the generator to the published SplitMix64
+// sequence for seed 0, so the streams every experiment replays from
+// its seed can never drift silently.
+func TestKnownAnswer(t *testing.T) {
+	want := []uint64{0xe220a8397b1dcdaf, 0x6e789e6aa1b965f4, 0x06c45d188009454f}
+	s := NewSource(0)
+	for i, w := range want {
+		if got := s.Uint64(); got != w {
+			t.Fatalf("output %d: got %#x, want %#x", i, got, w)
+		}
+	}
+}
+
+func TestNewDeterministic(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 100; i++ {
+		if x, y := a.Uint64(), b.Uint64(); x != y {
+			t.Fatalf("draw %d diverged: %#x vs %#x", i, x, y)
+		}
+	}
+	if New(42).Uint64() == New(43).Uint64() {
+		t.Fatal("distinct seeds produced the same first draw")
+	}
+}
+
+func TestDeriveSpreadsStreams(t *testing.T) {
+	seen := make(map[int64]bool)
+	for id := int64(0); id < 1000; id++ {
+		child := Derive(7, id)
+		if seen[child] {
+			t.Fatalf("Derive(7, %d) collides with an earlier id", id)
+		}
+		seen[child] = true
+	}
+	if Derive(1, 5) == Derive(2, 5) {
+		t.Fatal("distinct parents derived the same child seed")
+	}
+}
+
+func TestSeedResets(t *testing.T) {
+	s := NewSource(9)
+	first := s.Uint64()
+	s.Uint64()
+	s.Seed(9)
+	if got := s.Uint64(); got != first {
+		t.Fatalf("Seed did not reset the stream: got %#x, want %#x", got, first)
+	}
+}

@@ -30,7 +30,9 @@ type ExtChurnRow struct {
 	RebuildCertainty float64
 }
 
-// ExtChurnResult is the whole experiment.
+// ExtChurnResult is the whole experiment. Its K echoes the already
+// validated Config parameter for rendering; anonylint:k-validated
+// (Config.Validate rejects k < 2).
 type ExtChurnResult struct {
 	K    int
 	Rows []ExtChurnRow
@@ -40,6 +42,9 @@ type ExtChurnResult struct {
 // inserts over an initial population of cfg.Records.
 func ExtChurn(cfg Config, rounds, batch int) (*ExtChurnResult, error) {
 	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	const k = 10
 	schema := dataset.LandsEndSchema()
 

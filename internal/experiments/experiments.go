@@ -66,6 +66,26 @@ func Defaults() Config {
 	}
 }
 
+// Validate rejects anonymity parameters that provide no anonymity:
+// after defaulting, BaseK and every published granularity in Ks must
+// be >= 2, and derived granularities cannot fall below the build
+// granularity. Every figure runner calls it before generating data.
+func (c Config) Validate() error {
+	c = c.withDefaults()
+	if c.BaseK < 2 {
+		return fmt.Errorf("experiments: BaseK %d provides no anonymity; need >= 2", c.BaseK)
+	}
+	for _, k := range c.Ks {
+		if k < 2 {
+			return fmt.Errorf("experiments: granularity k=%d provides no anonymity; need >= 2", k)
+		}
+		if k < c.BaseK {
+			return fmt.Errorf("experiments: granularity k=%d below build BaseK %d", k, c.BaseK)
+		}
+	}
+	return nil
+}
+
 func (c Config) withDefaults() Config {
 	d := Defaults()
 	if c.Records == 0 {
@@ -112,7 +132,10 @@ func (c Config) newRTree(bulk bool) (*core.RTreeAnonymizer, error) {
 	return core.NewRTreeAnonymizer(cfg)
 }
 
-// mondrian builds the top-down baseline at anonymity k.
+// mondrian builds the top-down baseline at anonymity k. Callers pass
+// granularities from a validated Config; anonylint:k-validated
+// (Config.Validate rejects k < 2, and mondrian.Anonymize re-validates
+// the constraint).
 func (c Config) mondrian(k int) *core.MondrianAnonymizer {
 	return &core.MondrianAnonymizer{
 		Schema:      dataset.LandsEndSchema(),

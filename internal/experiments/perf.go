@@ -17,7 +17,9 @@ import (
 // ---------------------------------------------------------------------------
 // Figure 7(a): bulk anonymization times, R⁺-tree vs top-down, across k.
 
-// Fig7aRow is one k's measurement.
+// Fig7aRow is one k's measurement. Its K echoes the already validated
+// Config parameter for rendering; anonylint:k-validated
+// (Config.Validate rejects k < 2).
 type Fig7aRow struct {
 	K        int
 	RTree    time.Duration // base-k build (amortized) + leaf scan at k
@@ -39,6 +41,9 @@ type Fig7aResult struct {
 // k; Mondrian re-runs per k and gets cheaper as k grows.
 func Fig7a(cfg Config) (*Fig7aResult, error) {
 	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	recs := cfg.landsEnd()
 
 	rt, err := cfg.newRTree(true)
@@ -112,7 +117,9 @@ type Fig7bRow struct {
 	// re-anonymize the whole prefix with Mondrian
 }
 
-// Fig7bResult is the whole figure.
+// Fig7bResult is the whole figure. Its K echoes the already validated
+// Config parameter for rendering; anonylint:k-validated
+// (Config.Validate rejects k < 2).
 type Fig7bResult struct {
 	K    int
 	Rows []Fig7bRow
@@ -125,6 +132,9 @@ type Fig7bResult struct {
 // data set on each batch insert").
 func Fig7b(cfg Config) (*Fig7bResult, error) {
 	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	const k = 10
 	recs := dataset.GenerateLandsEnd(cfg.BatchSize*cfg.Batches, cfg.Seed)
 
@@ -196,6 +206,9 @@ type Fig8aResult struct {
 // under 256 MB.
 func Fig8a(cfg Config, sizes []int, memoryBytes int) (*Fig8aResult, error) {
 	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	if memoryBytes == 0 {
 		memoryBytes = 4 << 20
 	}
@@ -263,6 +276,9 @@ type Fig8bResult struct {
 // memory increases I/O by less than 2x.
 func Fig8b(cfg Config, records int, memories []int) (*Fig8bResult, error) {
 	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	res := &Fig8bResult{Records: records}
 	for _, mem := range memories {
 		rt, err := core.NewRTreeAnonymizer(core.RTreeConfig{
@@ -319,7 +335,9 @@ type Fig9Row struct {
 	Percent    float64
 }
 
-// Fig9Result is the whole figure.
+// Fig9Result is the whole figure. Its K echoes the already validated
+// Config parameter for rendering; anonylint:k-validated
+// (Config.Validate rejects k < 2).
 type Fig9Result struct {
 	K    int
 	Rows []Fig9Row
@@ -330,6 +348,9 @@ type Fig9Result struct {
 // report compaction time as a percentage of total anonymization time.
 func Fig9(cfg Config, sizes []int) (*Fig9Result, error) {
 	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	const k = 10
 	res := &Fig9Result{K: k}
 	for _, n := range sizes {

@@ -13,7 +13,9 @@ import (
 // ---------------------------------------------------------------------------
 // Figure 10: anonymization quality across k for four systems.
 
-// Fig10Row is one (k, system) quality measurement.
+// Fig10Row is one (k, system) quality measurement. Its K echoes the
+// already validated Config parameter for rendering;
+// anonylint:k-validated (Config.Validate rejects k < 2).
 type Fig10Row struct {
 	K      int
 	System string
@@ -34,6 +36,9 @@ type Fig10Result struct {
 // closing most of the CM/KL gap.
 func Fig10(cfg Config) (*Fig10Result, error) {
 	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	recs := cfg.landsEnd()
 	schema := dataset.LandsEndSchema()
 	domain := attr.DomainOf(schema.Dims(), recs)
@@ -98,7 +103,9 @@ type Fig11Row struct {
 	Reanonymized quality.Report // Mondrian re-run on the whole prefix
 }
 
-// Fig11Result is the whole figure.
+// Fig11Result is the whole figure. Its K echoes the already validated
+// Config parameter for rendering; anonylint:k-validated
+// (Config.Validate rejects k < 2).
 type Fig11Result struct {
 	K    int
 	Rows []Fig11Row
@@ -110,6 +117,9 @@ type Fig11Result struct {
 // quality does not suffer from incremental anonymization".
 func Fig11(cfg Config) (*Fig11Result, error) {
 	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	const k = 10
 	schema := dataset.LandsEndSchema()
 	recs := dataset.GenerateLandsEnd(cfg.BatchSize*cfg.Batches, cfg.Seed)

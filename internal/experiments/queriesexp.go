@@ -18,7 +18,9 @@ var selectivityBounds = []float64{0.001, 0.01, 0.05, 0.25}
 // ---------------------------------------------------------------------------
 // Figure 12(a): mean query error vs k; 12(b): vs selectivity.
 
-// Fig12aRow is one (k, system) error measurement.
+// Fig12aRow is one (k, system) error measurement. Its K echoes the
+// already validated Config parameter for rendering;
+// anonylint:k-validated (Config.Validate rejects k < 2).
 type Fig12aRow struct {
 	K      int
 	System string
@@ -37,6 +39,9 @@ type Fig12aResult struct {
 // R⁺-tree-anonymized, Mondrian-uncompacted and Mondrian-compacted data.
 func Fig12a(cfg Config) (*Fig12aResult, error) {
 	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	recs := cfg.landsEnd()
 	queries := query.FullRangeWorkload(recs, cfg.Queries, cfg.Seed+100)
 
@@ -105,7 +110,9 @@ type Fig12bRow struct {
 	Queries int
 }
 
-// Fig12bResult is the whole figure.
+// Fig12bResult is the whole figure. Its K echoes the already validated
+// Config parameter for rendering; anonylint:k-validated
+// (Config.Validate rejects k < 2).
 type Fig12bResult struct {
 	K    int
 	Rows []Fig12bRow
@@ -117,6 +124,9 @@ type Fig12bResult struct {
 // selectivity grows.
 func Fig12b(cfg Config) (*Fig12bResult, error) {
 	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	const k = 10
 	recs := cfg.landsEnd()
 	queries := query.FullRangeWorkload(recs, cfg.Queries, cfg.Seed+200)
@@ -159,7 +169,8 @@ func (r *Fig12bResult) Print(w io.Writer) {
 // Figure 12(c)/(d): workload-biased splitting on the Zipcode attribute.
 
 // Fig12cRow is one (k, system) error measurement under the Zipcode
-// workload.
+// workload. Its K echoes the already validated Config parameter for
+// rendering; anonylint:k-validated (Config.Validate rejects k < 2).
 type Fig12cRow struct {
 	K        int
 	Biased   float64
@@ -179,6 +190,9 @@ type Fig12cResult struct {
 // attribute for every split") vs the unbiased R⁺-tree.
 func Fig12c(cfg Config) (*Fig12cResult, error) {
 	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	recs := cfg.landsEnd()
 	schema := dataset.LandsEndSchema()
 	zip := schema.AttrIndex("zipcode")
@@ -247,7 +261,9 @@ type Fig12dRow struct {
 	Unbiased float64
 }
 
-// Fig12dResult is the whole figure.
+// Fig12dResult is the whole figure. Its K echoes the already validated
+// Config parameter for rendering; anonylint:k-validated
+// (Config.Validate rejects k < 2).
 type Fig12dResult struct {
 	K    int
 	Rows []Fig12dRow
@@ -258,6 +274,9 @@ type Fig12dResult struct {
 // selectivity grows.
 func Fig12d(cfg Config) (*Fig12dResult, error) {
 	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	const k = 10
 	recs := cfg.landsEnd()
 	schema := dataset.LandsEndSchema()

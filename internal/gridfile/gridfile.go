@@ -35,8 +35,8 @@ type Options struct {
 // Anonymize buckets recs into grid cells and coalesces cells in Z-order
 // into constraint-satisfying partitions.
 func Anonymize(schema *attr.Schema, recs []attr.Record, opt Options) ([]anonmodel.Partition, error) {
-	if opt.Constraint == nil {
-		return nil, fmt.Errorf("gridfile: nil constraint")
+	if err := anonmodel.Validate(opt.Constraint); err != nil {
+		return nil, fmt.Errorf("gridfile: %w", err)
 	}
 	if err := schema.Validate(); err != nil {
 		return nil, err

@@ -79,11 +79,14 @@ func TestErrors(t *testing.T) {
 	if _, err := Anonymize(dataset.PatientsSchema(), recs, Options{Constraint: anonmodel.KAnonymity{K: 50}}); err == nil {
 		t.Fatal("infeasible input accepted")
 	}
-	bad := []attr.Record{{QI: []float64{1}}}
-	if _, err := Anonymize(dataset.PatientsSchema(), bad, Options{Constraint: anonmodel.KAnonymity{K: 1}}); err == nil {
+	if _, err := Anonymize(dataset.PatientsSchema(), recs, Options{Constraint: anonmodel.KAnonymity{K: 1}}); err == nil {
+		t.Fatal("k=1 accepted")
+	}
+	bad := []attr.Record{{QI: []float64{1}}, {QI: []float64{2}}}
+	if _, err := Anonymize(dataset.PatientsSchema(), bad, Options{Constraint: anonmodel.KAnonymity{K: 2}}); err == nil {
 		t.Fatal("dimension mismatch accepted")
 	}
-	ps, err := Anonymize(dataset.PatientsSchema(), nil, Options{Constraint: anonmodel.KAnonymity{K: 1}})
+	ps, err := Anonymize(dataset.PatientsSchema(), nil, Options{Constraint: anonmodel.KAnonymity{K: 2}})
 	if err != nil || ps != nil {
 		t.Fatalf("empty input: %v %v", ps, err)
 	}

@@ -1,0 +1,133 @@
+// Package analysistest runs an analyzer over fixture packages and
+// checks its findings against expectations written in the fixture
+// source — the same golden-comment convention as
+// golang.org/x/tools/go/analysis/analysistest, reimplemented on the
+// project's self-contained analysis framework.
+//
+// A fixture line states its expected findings with a trailing comment:
+//
+//	rng := rand.Intn(10) // want `detrand: global math/rand`
+//
+// Each back-quoted or double-quoted string after "want" is a regular
+// expression that must match the message of exactly one finding
+// reported on that line. Lines without a want comment must produce no
+// findings. Fixtures live in testdata/src/<name> under the analyzer's
+// package directory, are full compilable packages, and may import real
+// project packages — the loader resolves module-local imports as long
+// as the test runs inside the module, which `go test` guarantees.
+package analysistest
+
+import (
+	"fmt"
+	"go/scanner"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"spatialanon/internal/lint/analysis"
+	"spatialanon/internal/lint/load"
+)
+
+// Run applies a to the fixture package testdata/src/<fixture> and
+// reports mismatches between expected and actual findings through t.
+func Run(t *testing.T, a *analysis.Analyzer, fixture string) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", fixture)
+	pkg, err := load.NewLoader().Dir(dir, "spatialanon/lintfixture/"+fixture)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", fixture, err)
+	}
+	if pkg == nil {
+		t.Fatalf("fixture %s has no Go files", fixture)
+	}
+	diags, err := analysis.Run(a, pkg.Fset, pkg.Files, pkg.Types, pkg.Info)
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, fixture, err)
+	}
+
+	type key struct {
+		file string
+		line int
+	}
+	wants := make(map[key][]*regexp.Regexp)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				pats, err := parseWant(c.Text)
+				if err != nil {
+					t.Fatalf("%s: %v", pkg.Fset.Position(c.Pos()), err)
+				}
+				if len(pats) == 0 {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				k := key{filepath.Base(pos.Filename), pos.Line}
+				wants[k] = append(wants[k], pats...)
+			}
+		}
+	}
+
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		k := key{filepath.Base(pos.Filename), pos.Line}
+		matched := false
+		for i, re := range wants[k] {
+			if re != nil && re.MatchString(d.Message) {
+				wants[k][i] = nil // consume
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected finding: %s: %s", pos, d.Analyzer, d.Message)
+		}
+	}
+	for k, res := range wants {
+		for _, re := range res {
+			if re != nil {
+				t.Errorf("%s:%d: expected finding matching %q, got none", k.file, k.line, re)
+			}
+		}
+	}
+}
+
+// parseWant extracts the expectation regexps from one comment's text,
+// returning nil when the comment is not a want comment.
+func parseWant(text string) ([]*regexp.Regexp, error) {
+	text = strings.TrimPrefix(text, "//")
+	text = strings.TrimSpace(text)
+	rest, ok := strings.CutPrefix(text, "want ")
+	if !ok {
+		return nil, nil
+	}
+	var out []*regexp.Regexp
+	var sc scanner.Scanner
+	fset := token.NewFileSet()
+	file := fset.AddFile("want", -1, len(rest))
+	sc.Init(file, []byte(rest), nil, 0)
+	for {
+		_, tok, lit := sc.Scan()
+		if tok == token.EOF || tok == token.SEMICOLON {
+			break
+		}
+		if tok != token.STRING {
+			return nil, fmt.Errorf("want comment: expected string literal, got %s %q", tok, lit)
+		}
+		s, err := strconv.Unquote(lit)
+		if err != nil {
+			return nil, fmt.Errorf("want comment: bad string %s: %v", lit, err)
+		}
+		re, err := regexp.Compile(s)
+		if err != nil {
+			return nil, fmt.Errorf("want comment: bad regexp %q: %v", s, err)
+		}
+		out = append(out, re)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("want comment carries no expectations")
+	}
+	return out, nil
+}

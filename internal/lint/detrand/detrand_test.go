@@ -1,0 +1,12 @@
+package detrand_test
+
+import (
+	"testing"
+
+	"spatialanon/internal/lint/analysistest"
+	"spatialanon/internal/lint/detrand"
+)
+
+func TestDetrand(t *testing.T) {
+	analysistest.Run(t, detrand.Analyzer, "detrand")
+}

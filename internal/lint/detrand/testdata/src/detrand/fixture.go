@@ -1,0 +1,86 @@
+// Package fixture exercises the detrand analyzer: wall-clock reads,
+// global math/rand functions and order-leaking map iteration are
+// flagged; seeded sources, constant-result existence checks and
+// collect-then-sort all pass.
+package fixture
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func clock() time.Time {
+	return time.Now() // want `detrand: time\.Now reads the wall clock`
+}
+
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want `detrand: time\.Since reads the wall clock`
+}
+
+func globalRand() int {
+	return rand.Intn(10) // want `detrand: global math/rand function rand\.Intn`
+}
+
+func seededRand(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed)) // constructors build caller-owned streams
+}
+
+func firstLarge(m map[string]int) (string, bool) {
+	for k, v := range m {
+		if v > 10 {
+			return k, true // want `detrand: return inside map iteration depends on visit order`
+		}
+	}
+	return "", false
+}
+
+func anyLarge(m map[string]int) bool {
+	for _, v := range m {
+		if v > 10 {
+			return true // constant result: order-independent
+		}
+	}
+	return false
+}
+
+func sum(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total += v // want `detrand: floating-point accumulation in map iteration order`
+	}
+	return total
+}
+
+func sumSuppressed(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m { // anonylint:map-ordered — values are small integers stored as floats; the sum is exact
+		total += v
+	}
+	return total
+}
+
+func keysUnsorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want `detrand: append to returned slice out in map iteration order`
+	}
+	return out
+}
+
+func keysSorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func count(m map[string]int) int {
+	total := 0
+	for range m {
+		total++ // integer counting is order-independent
+	}
+	return total
+}

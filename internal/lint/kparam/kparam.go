@@ -1,0 +1,335 @@
+// Package kparam enforces the domain's most basic precondition: an
+// anonymity parameter below 2 is not anonymity. k = 1 puts every record
+// in its own equivalence class — the "anonymized" release is the
+// original table — and nothing in the type system stops a caller from
+// asking for it. Every place a k enters the system must therefore have
+// a validation path that rejects k < 2.
+package kparam
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"spatialanon/internal/lint/analysis"
+)
+
+// Analyzer flags anonymity parameters without a k < 2 rejection path.
+//
+// Two trigger shapes:
+//
+//  1. A struct type declaring an integer field named K or BaseK that
+//     the package reads (a write-only field is a descriptive output —
+//     experiment result rows record the k they ran under — and cannot
+//     direct anonymization). The declaring package must either give
+//     the struct a *Validate* method or compare that field against
+//     the literal 2 somewhere in non-test code. Structs whose field
+//     merely echoes an already-validated parameter (result rows that
+//     are read back when rendering tables) may carry the
+//     "anonylint:k-validated" directive on the type declaration,
+//     naming where the real check happens.
+//
+//  2. A function with an integer parameter named k that feeds it into
+//     a composite literal's K/BaseK field (constructing a constraint
+//     or config). The function body must compare k against the
+//     literal 2, unless its doc comment carries the directive
+//     "anonylint:k-validated" naming where the check happens.
+var Analyzer = &analysis.Analyzer{
+	Name: "kparam",
+	Doc: "flag anonymity parameters accepted without a k < 2 rejection path\n\n" +
+		"k-anonymity with k < 2 is the identity function wearing a\n" +
+		"privacy label. Constructors and config structs that accept a\n" +
+		"k must validate it; this analyzer proves the validation exists\n" +
+		"rather than trusting every caller to remember.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	checkStructs(pass)
+	checkFuncs(pass)
+	return nil
+}
+
+// kFieldNames are the field spellings treated as anonymity parameters.
+var kFieldNames = map[string]bool{"K": true, "BaseK": true}
+
+// checkStructs applies trigger shape 1.
+func checkStructs(pass *analysis.Pass) {
+	type kField struct {
+		structName string
+		fieldName  string
+		pos        token.Pos
+	}
+	var fields []kField
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				// The doc comment attaches to the TypeSpec in a grouped
+				// declaration, but to the GenDecl for the common
+				// single-spec `type Name struct { ... }` form.
+				if analysis.DeclDirective(ts.Doc, "anonylint:k-validated") ||
+					(len(gd.Specs) == 1 && analysis.DeclDirective(gd.Doc, "anonylint:k-validated")) {
+					continue
+				}
+				for _, field := range st.Fields.List {
+					if !isIntType(pass.TypesInfo.TypeOf(field.Type)) {
+						continue
+					}
+					for _, name := range field.Names {
+						if kFieldNames[name.Name] {
+							fields = append(fields, kField{ts.Name.Name, name.Name, name.Pos()})
+						}
+					}
+				}
+			}
+		}
+	}
+	if len(fields) == 0 {
+		return
+	}
+	validatedStructs := structsWithValidateMethod(pass)
+	for _, kf := range fields {
+		if !fieldIsRead(pass, kf.structName, kf.fieldName) {
+			continue
+		}
+		if validatedStructs[kf.structName] {
+			continue
+		}
+		if fieldComparedToTwo(pass, kf.structName, kf.fieldName) {
+			continue
+		}
+		pass.Reportf(kf.pos,
+			"kparam: struct %s carries anonymity parameter %s but the package has no validation path rejecting %s < 2 (add a Validate method, an explicit comparison, or mark the type anonylint:k-validated)",
+			kf.structName, kf.fieldName, kf.fieldName)
+	}
+}
+
+// structsWithValidateMethod returns the names of struct types that have
+// a method whose name contains "Validate" or "validate".
+func structsWithValidateMethod(pass *analysis.Pass) map[string]bool {
+	out := make(map[string]bool)
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || len(fd.Recv.List) == 0 {
+				continue
+			}
+			lower := strings.ToLower(fd.Name.Name)
+			if !strings.Contains(lower, "validate") {
+				continue
+			}
+			if name := receiverTypeName(fd.Recv.List[0].Type); name != "" {
+				out[name] = true
+			}
+		}
+	}
+	return out
+}
+
+func receiverTypeName(expr ast.Expr) string {
+	switch t := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		return t.Name
+	case *ast.StarExpr:
+		return receiverTypeName(t.X)
+	case *ast.IndexExpr: // generic receiver
+		return receiverTypeName(t.X)
+	}
+	return ""
+}
+
+// fieldComparedToTwo reports whether any non-test code in the package
+// compares a selector .<fieldName> on type structName against the
+// constant 2.
+func fieldComparedToTwo(pass *analysis.Pass, structName, fieldName string) bool {
+	found := false
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || !isComparison(be.Op) {
+				return true
+			}
+			if (selectsField(pass, be.X, structName, fieldName) && isConstTwo(pass, be.Y)) ||
+				(selectsField(pass, be.Y, structName, fieldName) && isConstTwo(pass, be.X)) {
+				found = true
+			}
+			return !found
+		})
+		if found {
+			break
+		}
+	}
+	return found
+}
+
+// fieldIsRead reports whether the package reads the field anywhere: a
+// matching selector that is not purely the target of a plain
+// assignment. Op-assignments read before writing and count as reads.
+func fieldIsRead(pass *analysis.Pass, structName, fieldName string) bool {
+	writes := make(map[*ast.SelectorExpr]bool)
+	read := false
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if as, ok := n.(*ast.AssignStmt); ok && as.Tok == token.ASSIGN {
+				for _, lhs := range as.Lhs {
+					if sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr); ok {
+						writes[sel] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || writes[sel] {
+				return true
+			}
+			if selectsField(pass, sel, structName, fieldName) {
+				read = true
+			}
+			return !read
+		})
+		if read {
+			break
+		}
+	}
+	return read
+}
+
+func isComparison(op token.Token) bool {
+	switch op {
+	case token.LSS, token.LEQ, token.GTR, token.GEQ, token.EQL, token.NEQ:
+		return true
+	}
+	return false
+}
+
+func selectsField(pass *analysis.Pass, expr ast.Expr, structName, fieldName string) bool {
+	sel, ok := ast.Unparen(expr).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != fieldName {
+		return false
+	}
+	t := pass.TypesInfo.TypeOf(sel.X)
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == structName
+}
+
+func isConstTwo(pass *analysis.Pass, expr ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[ast.Unparen(expr)]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+		return false
+	}
+	v, ok := constant.Int64Val(tv.Value)
+	return ok && v == 2
+}
+
+// checkFuncs applies trigger shape 2.
+func checkFuncs(pass *analysis.Pass) {
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if analysis.DeclDirective(fd.Doc, "anonylint:k-validated") {
+				continue
+			}
+			for _, param := range fd.Type.Params.List {
+				if !isIntType(pass.TypesInfo.TypeOf(param.Type)) {
+					continue
+				}
+				for _, name := range param.Names {
+					if name.Name != "k" && name.Name != "K" {
+						continue
+					}
+					obj := pass.TypesInfo.Defs[name]
+					if obj == nil {
+						continue
+					}
+					if !feedsKField(pass, fd.Body, obj) {
+						continue
+					}
+					if !comparedToTwo(pass, fd.Body, obj) {
+						pass.Reportf(name.Pos(),
+							"kparam: parameter %s flows into an anonymity field but %s is never compared against 2 in this function; reject %s < 2 or mark the decl anonylint:k-validated",
+							name.Name, name.Name, name.Name)
+					}
+				}
+			}
+		}
+	}
+}
+
+// feedsKField reports whether obj is used as the value of a K/BaseK
+// field in any composite literal within body.
+func feedsKField(pass *analysis.Pass, body *ast.BlockStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		kv, ok := n.(*ast.KeyValueExpr)
+		if !ok {
+			return true
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok || !kFieldNames[key.Name] {
+			return true
+		}
+		ast.Inspect(kv.Value, func(v ast.Node) bool {
+			if id, ok := v.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+				found = true
+			}
+			return !found
+		})
+		return !found
+	})
+	return found
+}
+
+// comparedToTwo reports whether body compares obj against constant 2.
+func comparedToTwo(pass *analysis.Pass, body *ast.BlockStmt, obj types.Object) bool {
+	found := false
+	usesObj := func(expr ast.Expr) bool {
+		id, ok := ast.Unparen(expr).(*ast.Ident)
+		return ok && pass.TypesInfo.Uses[id] == obj
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok || !isComparison(be.Op) {
+			return true
+		}
+		if (usesObj(be.X) && isConstTwo(pass, be.Y)) || (usesObj(be.Y) && isConstTwo(pass, be.X)) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func isIntType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}

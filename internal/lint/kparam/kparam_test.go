@@ -1,0 +1,12 @@
+package kparam_test
+
+import (
+	"testing"
+
+	"spatialanon/internal/lint/analysistest"
+	"spatialanon/internal/lint/kparam"
+)
+
+func TestKParam(t *testing.T) {
+	analysistest.Run(t, kparam.Analyzer, "kparam")
+}

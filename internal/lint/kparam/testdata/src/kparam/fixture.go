@@ -1,0 +1,82 @@
+// Package fixture exercises the kparam analyzer: anonymity parameters
+// (K/BaseK fields, k parameters feeding them) must have a validation
+// path rejecting k < 2 — a Validate method, an explicit comparison, or
+// a reviewable anonylint:k-validated directive.
+package fixture
+
+import "errors"
+
+// BadConfig reads its K but the package never validates it.
+type BadConfig struct {
+	K int // want `kparam: struct BadConfig carries anonymity parameter K`
+}
+
+func useBad(c BadConfig) int { return c.K * 3 }
+
+// GoodConfig carries a Validate method.
+type GoodConfig struct {
+	K int
+}
+
+// Validate rejects k below 2.
+func (c GoodConfig) Validate() error {
+	if c.K < 2 {
+		return errors.New("k provides no anonymity")
+	}
+	return nil
+}
+
+// ComparedConfig is validated by an explicit comparison elsewhere in
+// the package.
+type ComparedConfig struct {
+	BaseK int
+}
+
+func checkCompared(c ComparedConfig) error {
+	if c.BaseK < 2 {
+		return errors.New("base k provides no anonymity")
+	}
+	return nil
+}
+
+// ResultRow only records the k a run used — the field is write-only in
+// this package, so it cannot direct anonymization.
+type ResultRow struct {
+	K int
+}
+
+func fill(k int) ResultRow {
+	var r ResultRow
+	r.K = k
+	return r
+}
+
+// RenderedRow echoes an already validated parameter for rendering;
+// anonylint:k-validated (GoodConfig.Validate rejects k < 2 upstream).
+type RenderedRow struct {
+	K int
+}
+
+func render(r RenderedRow) int { return r.K }
+
+// newUnchecked feeds k straight into a config without rejecting k < 2.
+func newUnchecked(k int) GoodConfig { // want `kparam: parameter k flows into an anonymity field`
+	return GoodConfig{K: k}
+}
+
+// newChecked validates before constructing.
+func newChecked(k int) (GoodConfig, error) {
+	if k < 2 {
+		return GoodConfig{}, errors.New("k provides no anonymity")
+	}
+	return GoodConfig{K: k}, nil
+}
+
+// newTrusted is called only with granularities a validated config
+// produced; anonylint:k-validated (newChecked rejects k < 2).
+func newTrusted(k int) GoodConfig {
+	return GoodConfig{K: k}
+}
+
+// scale takes an int named k that never reaches an anonymity field.
+func scale(k int) int { return k * 10 }

@@ -1,0 +1,46 @@
+// Package lint assembles the anonylint suite: the project's four
+// static analyzers plus the package-scoping rules that decide where
+// each one applies. cmd/anonylint and the lint tests both consume this
+// registry, so the CLI and the test suite can never disagree about
+// what is checked where.
+package lint
+
+import (
+	"strings"
+
+	"spatialanon/internal/lint/analysis"
+	"spatialanon/internal/lint/detrand"
+	"spatialanon/internal/lint/kparam"
+	"spatialanon/internal/lint/pagerconfine"
+	"spatialanon/internal/lint/panicpolicy"
+)
+
+// ScopedAnalyzer pairs an analyzer with the predicate selecting the
+// packages it runs on.
+type ScopedAnalyzer struct {
+	*analysis.Analyzer
+	// Applies reports whether the analyzer runs on the package with
+	// the given import path.
+	Applies func(pkgPath string) bool
+}
+
+// Suite returns the anonylint analyzers with their package scopes:
+//
+//   - pagerconfine and kparam run everywhere: worker confinement and
+//     k validation are whole-repository invariants.
+//   - detrand runs on the deterministic packages only — commands and
+//     the experiment harness are allowed to read clocks.
+//   - panicpolicy runs on internal/ library packages, excluding the
+//     lint tooling itself (an analyzer crashing on a malformed AST is
+//     a programmer error by construction); commands may log.Fatal.
+func Suite() []ScopedAnalyzer {
+	return []ScopedAnalyzer{
+		{pagerconfine.Analyzer, func(string) bool { return true }},
+		{kparam.Analyzer, func(string) bool { return true }},
+		{detrand.Analyzer, func(path string) bool { return detrand.Deterministic[path] }},
+		{panicpolicy.Analyzer, func(path string) bool {
+			return strings.Contains(path, "/internal/") &&
+				!strings.Contains(path, "/internal/lint")
+		}},
+	}
+}

@@ -1,0 +1,12 @@
+package pagerconfine_test
+
+import (
+	"testing"
+
+	"spatialanon/internal/lint/analysistest"
+	"spatialanon/internal/lint/pagerconfine"
+)
+
+func TestPagerConfine(t *testing.T) {
+	analysistest.Run(t, pagerconfine.Analyzer, "pagerconfine")
+}

@@ -1,0 +1,79 @@
+// Package panicpolicy enforces the repository's failure-semantics
+// contract (PR 1, DESIGN.md "Failure semantics"): library code returns
+// errors; it does not panic and it does not call log.Fatal. The only
+// admitted panics are provable programmer errors — and those must say
+// so, with an "invariant:" comment at the call site, so the claim is
+// reviewable rather than implicit.
+package panicpolicy
+
+import (
+	"go/ast"
+	"go/types"
+
+	"spatialanon/internal/lint/analysis"
+)
+
+// Analyzer flags panic and log.Fatal* / log.Panic* calls that carry no
+// "invariant:" justification comment on the call line or within the
+// two lines above it. The multichecker applies it to internal/ library
+// packages; commands remain free to log.Fatal on startup errors.
+var Analyzer = &analysis.Analyzer{
+	Name: "panicpolicy",
+	Doc: "flag unjustified panics in library packages\n\n" +
+		"Library code must return errors (PR 1's failure-semantics\n" +
+		"contract): faults are injectable, data is hostile, and a panic\n" +
+		"in a library turns a recoverable I/O error into a crashed\n" +
+		"process. panic is allowed only for provable programmer errors,\n" +
+		"and each such site must carry an 'invariant:' comment stating\n" +
+		"the proof obligation. log.Fatal and friends are never allowed\n" +
+		"in libraries: they hide an os.Exit behind a log line.",
+	Run: run,
+}
+
+// fatalFuncs are the "log" package functions that terminate or panic.
+var fatalFuncs = map[string]bool{
+	"Fatal": true, "Fatalf": true, "Fatalln": true,
+	"Panic": true, "Panicf": true, "Panicln": true,
+}
+
+// justifyWindow is how many lines above a call an "invariant:" comment
+// may sit and still justify it: the line itself plus two above, which
+// admits the idiomatic short block comment directly over the call.
+const justifyWindow = 2
+
+func run(pass *analysis.Pass) error {
+	marked := pass.CommentLines("invariant:")
+	for _, f := range pass.Files {
+		lines := marked[f]
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			var what string
+			switch fun := ast.Unparen(call.Fun).(type) {
+			case *ast.Ident:
+				if b, ok := pass.TypesInfo.Uses[fun].(*types.Builtin); ok && b.Name() == "panic" {
+					what = "panic"
+				}
+			case *ast.SelectorExpr:
+				if fatalFuncs[fun.Sel.Name] && pass.IsPkgName(fun.X, "log") {
+					what = "log." + fun.Sel.Name
+				}
+			}
+			if what == "" {
+				return true
+			}
+			line := pass.Fset.Position(call.Pos()).Line
+			for l := line - justifyWindow; l <= line; l++ {
+				if lines[l] {
+					return true
+				}
+			}
+			pass.Reportf(call.Pos(),
+				"panicpolicy: %s in library code without an invariant: justification comment; return an error, or state the provable programmer error", what)
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package panicpolicy_test
+
+import (
+	"testing"
+
+	"spatialanon/internal/lint/analysistest"
+	"spatialanon/internal/lint/panicpolicy"
+)
+
+func TestPanicPolicy(t *testing.T) {
+	analysistest.Run(t, panicpolicy.Analyzer, "panicpolicy")
+}

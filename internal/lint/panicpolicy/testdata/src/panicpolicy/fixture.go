@@ -1,0 +1,57 @@
+// Package fixture exercises the panicpolicy analyzer: library panics
+// and log.Fatal* calls are flagged unless an invariant: comment states
+// the provable programmer error.
+package fixture
+
+import (
+	"errors"
+	"log"
+)
+
+func bad(x int) int {
+	if x < 0 {
+		panic("negative") // want `panicpolicy: panic in library code without an .* justification comment`
+	}
+	return x
+}
+
+func badLog(err error) {
+	if err != nil {
+		log.Fatalf("fatal: %v", err) // want `panicpolicy: log\.Fatalf in library code`
+	}
+}
+
+func badLogPanic(err error) {
+	if err != nil {
+		log.Panicln(err) // want `panicpolicy: log\.Panicln in library code`
+	}
+}
+
+func good(x int) (int, error) {
+	if x < 0 {
+		return 0, errors.New("negative input")
+	}
+	return x, nil
+}
+
+func justified(x int) int {
+	if x < 0 {
+		// invariant: every caller derives x from len(), so a negative
+		// value is a provable programmer error, never runtime input.
+		panic("negative")
+	}
+	return x
+}
+
+func justifiedSameLine(x int) int {
+	if x < 0 {
+		panic("negative") // invariant: x is a slice length by construction
+	}
+	return x
+}
+
+func logging(err error) {
+	if err != nil {
+		log.Printf("warn: %v", err) // Printf does not terminate the process
+	}
+}

@@ -49,8 +49,8 @@ const parCutMin = 1024
 // domain; adjacent partitions share cut boundaries, matching the
 // paper's rendering of ranges like [20-30][30-40].
 func Anonymize(schema *attr.Schema, recs []attr.Record, opt Options) ([]anonmodel.Partition, error) {
-	if opt.Constraint == nil {
-		return nil, fmt.Errorf("mondrian: nil constraint")
+	if err := anonmodel.Validate(opt.Constraint); err != nil {
+		return nil, fmt.Errorf("mondrian: %w", err)
 	}
 	if err := schema.Validate(); err != nil {
 		return nil, err

@@ -89,8 +89,11 @@ func TestValidation(t *testing.T) {
 	if _, err := Anonymize(dataset.PatientsSchema(), recs, Options{}); err == nil {
 		t.Fatal("nil constraint accepted")
 	}
+	if _, err := Anonymize(dataset.PatientsSchema(), recs, Options{Constraint: anonmodel.KAnonymity{K: 1}}); err == nil {
+		t.Fatal("k=1 accepted")
+	}
 	bad := []attr.Record{{QI: []float64{1}}}
-	if _, err := Anonymize(dataset.PatientsSchema(), bad, Options{Constraint: anonmodel.KAnonymity{K: 1}}); err == nil {
+	if _, err := Anonymize(dataset.PatientsSchema(), bad, Options{Constraint: anonmodel.KAnonymity{K: 2}}); err == nil {
 		t.Fatal("dimension mismatch accepted")
 	}
 	ps, err := Anonymize(dataset.PatientsSchema(), nil, Options{Constraint: anonmodel.KAnonymity{K: 2}})

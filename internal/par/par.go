@@ -147,6 +147,9 @@ func (p *Pool) Fork(fn func()) (join func()) {
 	return func() {
 		<-done
 		if panicked != nil {
+			// invariant: re-raising a worker's panic on the joining
+			// goroutine — swallowing it would turn a crash into silent
+			// data loss.
 			panic(panicked)
 		}
 	}

@@ -35,7 +35,8 @@ type Config struct {
 	Schema *attr.Schema
 	// BaseK is the minimum occupancy published partitions must reach
 	// (enforced by the caller's leaf scan; the tree itself records it
-	// for sizing). Required, >= 1.
+	// for sizing). Required, >= 2: one-record partitions are an
+	// identity release, not anonymity.
 	BaseK int
 	// LeafFactor c: leaves split once they exceed c*BaseK records.
 	// Defaults to 2.
@@ -88,8 +89,8 @@ func New(cfg Config, bootstrap []attr.Record) (*Tree, error) {
 	if err := cfg.Schema.Validate(); err != nil {
 		return nil, err
 	}
-	if cfg.BaseK < 1 {
-		return nil, fmt.Errorf("quadtree: BaseK %d < 1", cfg.BaseK)
+	if cfg.BaseK < 2 {
+		return nil, fmt.Errorf("quadtree: BaseK %d provides no anonymity; need >= 2", cfg.BaseK)
 	}
 	if cfg.LeafFactor == 0 {
 		cfg.LeafFactor = 2

@@ -16,6 +16,7 @@ package quality
 
 import (
 	"math"
+	"sort"
 
 	"spatialanon/internal/anonmodel"
 	"spatialanon/internal/attr"
@@ -119,10 +120,9 @@ func KLDivergence(ps []anonmodel.Partition) float64 {
 }
 
 // klPartition is one partition's contribution to KL(p₁‖p₂) in a table
-// of n tuples. The tuple-grouping map iterates in random order, so the
-// low bits of the sum can vary run to run — a property of the serial
-// metric that predates parallel evaluation; chunked reduction adds no
-// further variance on top of it.
+// of n tuples. Tuple groups are accumulated in sorted key order:
+// float addition is not associative, so summing in map order would
+// let the low bits vary run to run.
 func klPartition(p anonmodel.Partition, n float64) float64 {
 	if p.Size() == 0 {
 		return 0
@@ -134,9 +134,14 @@ func klPartition(p anonmodel.Partition, n float64) float64 {
 	for _, r := range p.Records {
 		counts[pointKey(r.QI)]++
 	}
+	keys := make([]string, 0, len(counts))
+	for key := range counts {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
 	kl := 0.0
-	for _, c := range counts {
-		p1 := float64(c) / n
+	for _, key := range keys {
+		p1 := float64(counts[key]) / n
 		p2 := mass / cells
 		kl += p1 * math.Log(p1/p2)
 	}

@@ -13,11 +13,11 @@ package query
 import (
 	"fmt"
 	"math"
-	"math/rand"
 	"sort"
 
 	"spatialanon/internal/anonmodel"
 	"spatialanon/internal/attr"
+	"spatialanon/internal/detrng"
 	"spatialanon/internal/par"
 )
 
@@ -26,7 +26,7 @@ import (
 // runs from the smaller to the larger of their values. Such a query
 // always contains both seed records, so its original count is >= 1.
 func FullRangeWorkload(recs []attr.Record, n int, seed int64) []attr.Box {
-	rng := rand.New(rand.NewSource(seed))
+	rng := detrng.New(seed)
 	out := make([]attr.Box, n)
 	for i := range out {
 		r1 := recs[rng.Intn(len(recs))]
@@ -43,7 +43,7 @@ func FullRangeWorkload(recs []attr.Record, n int, seed int64) []attr.Box {
 // comes from two random records, every other attribute spans the whole
 // domain.
 func SingleAttrWorkload(recs []attr.Record, axis int, n int, seed int64, domain attr.Box) []attr.Box {
-	rng := rand.New(rand.NewSource(seed))
+	rng := detrng.New(seed)
 	out := make([]attr.Box, n)
 	for i := range out {
 		v1 := recs[rng.Intn(len(recs))].QI[axis]

@@ -53,6 +53,7 @@ type Config struct {
 	// BaseK is the minimum leaf occupancy the split machinery aims for —
 	// the paper's base anonymity parameter k (Section 5.1 uses base
 	// k=5 and derives all published granularities by leaf scanning).
+	// Must be >= 2: one-record leaves are an identity release.
 	BaseK int
 	// LeafFactor is the paper's constant c: leaves hold between BaseK
 	// and c*BaseK records (Section 3.1). Must be >= 2 so a median split
@@ -107,8 +108,8 @@ func (c Config) validate() error {
 	if err := c.Schema.Validate(); err != nil {
 		return err
 	}
-	if c.BaseK < 1 {
-		return fmt.Errorf("rplustree: BaseK %d < 1", c.BaseK)
+	if c.BaseK < 2 {
+		return fmt.Errorf("rplustree: BaseK %d provides no anonymity; need >= 2", c.BaseK)
 	}
 	if c.LeafFactor < 2 {
 		return fmt.Errorf("rplustree: LeafFactor %d < 2 cannot guarantee k-occupancy after splits", c.LeafFactor)
@@ -471,11 +472,11 @@ func findTrieLeaf(st *splitTrie, target *node) *splitTrie {
 func (t *Tree) splitInternal(n *node) error {
 	rootSplit := n.trie
 	if rootSplit.isLeaf() {
-		// Provable programmer-error invariant, deliberately kept a
-		// panic: an internal node only overflows past NodeCapacity >= 2
-		// children, and every child beyond the first was created by a
-		// trie split, so an overflowing node's trie root is never a
-		// leaf. No input or injected storage fault can reach this.
+		// invariant: an internal node only overflows past NodeCapacity
+		// >= 2 children, and every child beyond the first was created
+		// by a trie split, so an overflowing node's trie root is never
+		// a leaf. No input or injected storage fault can reach this;
+		// the panic is a provable programmer error, deliberately kept.
 		panic("rplustree: internal node with trivial trie cannot overflow")
 	}
 	axis, value := rootSplit.axis, rootSplit.value

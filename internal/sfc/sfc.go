@@ -223,11 +223,11 @@ func transposeToAxes(x []uint32, bits int) {
 // sort-based bulk anonymization the paper compares the buffer tree
 // against. The input slice is reordered in place.
 func Anonymize(recs []attr.Record, c Curve, constraint anonmodel.Constraint) ([]anonmodel.Partition, error) {
+	if err := anonmodel.Validate(constraint); err != nil {
+		return nil, fmt.Errorf("sfc: %w", err)
+	}
 	if len(recs) == 0 {
 		return nil, nil
-	}
-	if constraint == nil {
-		return nil, fmt.Errorf("sfc: nil constraint")
 	}
 	if !constraint.Satisfied(recs) {
 		return nil, fmt.Errorf("sfc: input of %d records cannot satisfy %v", len(recs), constraint)
