@@ -6,7 +6,7 @@ GO ?= go
 # writes a new baseline without editing the Makefile.
 BENCH ?= BENCH_BASELINE.json
 
-.PHONY: all build test vet lint race chaos fuzz bench cover experiments examples clean
+.PHONY: all build test vet lint race chaos crash fuzz bench cover experiments examples clean
 
 all: vet test
 
@@ -41,10 +41,18 @@ race:
 chaos:
 	$(GO) test ./internal/verify/ -run 'TestChaos' -v
 
-# Short fuzz passes over the dataset codecs.
+# The WAL crash matrix: a churn workload crashed at every durable
+# operation (each log append and checkpoint page write, with torn
+# final frames) across a seed matrix, asserting recovery always
+# converges to an audited, k-safe state (internal/wal).
+crash:
+	$(GO) test ./internal/wal/ -run 'TestCrashMatrix' -v
+
+# Short fuzz passes over the dataset codecs and the WAL record decoder.
 fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzReadCSV -fuzztime=30s ./internal/dataset/
 	$(GO) test -run=NONE -fuzz=FuzzReadBinary -fuzztime=30s ./internal/dataset/
+	$(GO) test -run=NONE -fuzz=FuzzDecode -fuzztime=30s ./internal/wal/
 
 # Full figure + ablation benchmark sweep, 3 runs per benchmark for
 # variance. The raw log lands in bench_output.txt; the parsed baseline

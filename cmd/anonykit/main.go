@@ -8,6 +8,8 @@
 //	anonykit -dataset patients -n 5000 -algo rtree -k 5 -l 3
 //	anonykit -dataset landsend -n 10000 -algo rtree -k 10 -bias zipcode
 //	anonykit -dataset patients -n 5000 -algo rtree -k 5 -granularities 5,20,50 -out rel.csv
+//	anonykit -dataset patients -n 2000 -algo rtree -k 10 -persist ./store
+//	anonykit reopen -persist ./store -dataset patients -k 10
 //
 // The anonymized table is written as CSV to -out (default stdout); the
 // quality report (partition count, discernibility, certainty, KL
@@ -39,6 +41,9 @@ func main() {
 }
 
 func run(args []string, stdout, stderr io.Writer) error {
+	if len(args) > 0 && args[0] == "reopen" {
+		return runReopen(args[1:], stdout, stderr)
+	}
 	fs := flag.NewFlagSet("anonykit", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -54,6 +59,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		doComp  = fs.Bool("compact", false, "compact the output partitions (Section 4); the rtree output is always compact")
 		bias    = fs.String("bias", "", "comma-separated attributes the rtree split policy should favor")
 		keyAttr = fs.String("key", "", "bptree only: the attribute to index on (default: first attribute)")
+		persist = fs.String("persist", "", "rtree only: build inside a durable store at this directory (WAL + checkpoint; recover with `anonykit reopen`)")
 		grans   = fs.String("granularities", "", "rtree only: comma-separated k values; emits one table per granularity (out.k<N>.csv) from a single index, verified collusion-safe")
 		workers = fs.Int("workers", 0, "worker goroutines for anonymization (0 = all cores, 1 = serial; output is identical for every setting)")
 		quiet   = fs.Bool("quiet", false, "suppress the quality report")
@@ -69,7 +75,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if *workers < 0 {
 		return fmt.Errorf("-workers must be >= 0, got %d", *workers)
 	}
-	ks, err := validateFlags(schema, *algo, *n, *inPath != "", *k, *l, *alpha, *bias, *keyAttr, *grans, *outPath)
+	ks, err := validateFlags(schema, *algo, *n, *inPath != "", *k, *l, *alpha, *bias, *keyAttr, *grans, *outPath, *persist)
 	if err != nil {
 		return err
 	}
@@ -89,6 +95,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	if len(recs) == 0 {
 		return fmt.Errorf("no input records")
+	}
+
+	if *persist != "" {
+		return runPersist(*persist, schema, recs, *k, *outPath, *quiet, stdout, stderr)
 	}
 
 	constraint, err := buildConstraint(*k, *l, *alpha)
@@ -146,7 +156,7 @@ var algoNames = []string{"rtree", "mondrian", "mondrian-relaxed", "hilbert", "zo
 // one clear message instead of after an expensive load (or, worse,
 // partway through writing multi-granular output files). It returns the
 // parsed -granularities list (nil when the flag is absent).
-func validateFlags(schema *attr.Schema, algo string, n int, haveIn bool, k, l int, alpha float64, bias, keyAttr, grans, outPath string) ([]int, error) {
+func validateFlags(schema *attr.Schema, algo string, n int, haveIn bool, k, l int, alpha float64, bias, keyAttr, grans, outPath, persist string) ([]int, error) {
 	known := false
 	for _, a := range algoNames {
 		known = known || a == algo
@@ -174,6 +184,17 @@ func validateFlags(schema *attr.Schema, algo string, n int, haveIn bool, k, l in
 	}
 	if bias != "" && algo != "rtree" {
 		return nil, fmt.Errorf("-bias only applies to -algo rtree")
+	}
+	if persist != "" {
+		if algo != "rtree" {
+			return nil, fmt.Errorf("-persist only applies to -algo rtree (the durable store wraps the index)")
+		}
+		if l > 0 || alpha > 0 {
+			return nil, fmt.Errorf("-persist supports plain k-anonymity only")
+		}
+		if grans != "" {
+			return nil, fmt.Errorf("-persist and -granularities are mutually exclusive")
+		}
 	}
 	if keyAttr != "" && algo != "bptree" {
 		return nil, fmt.Errorf("-key only applies to -algo bptree")

@@ -36,7 +36,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		fig     = fs.String("fig", "all", "experiment id: fig7a fig7b fig8a fig8b fig9 fig10 fig11 fig12a fig12b fig12c fig12d churn, comma-separated, or all")
+		fig     = fs.String("fig", "all", "experiment id: fig7a fig7b fig8a fig8b fig9 fig10 fig11 fig12a fig12b fig12c fig12d churn churn-durable, comma-separated, or all")
 		records = fs.Int("records", 0, "Lands End-like data set size (0 = suite default; paper: 4591581)")
 		queries = fs.Int("queries", 0, "query workload size (0 = default; paper: 1000)")
 		ksFlag  = fs.String("ks", "", "comma-separated anonymity levels (default 5,10,25,50,100,250,500,1000)")
@@ -72,7 +72,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 
 	ids := strings.Split(*fig, ",")
 	if *fig == "all" {
-		ids = []string{"fig7a", "fig7b", "fig8a", "fig8b", "fig9", "fig10", "fig11", "fig12a", "fig12b", "fig12c", "fig12d", "churn"}
+		ids = []string{"fig7a", "fig7b", "fig8a", "fig8b", "fig9", "fig10", "fig11", "fig12a", "fig12b", "fig12c", "fig12d", "churn", "churn-durable"}
 	}
 	for i, id := range ids {
 		if i > 0 {
@@ -139,6 +139,11 @@ func dispatch(id string, cfg experiments.Config, sizesFlag string, memMB int) (p
 	case "churn":
 		// Extension beyond the paper: quality under delete+insert churn.
 		return experiments.ExtChurn(cfg, 8, defRecords/10)
+	case "churn-durable":
+		// Durable variant: the same churn through the write-ahead-logged
+		// store, recovering from disk after every round and reporting
+		// the recovery I/O a crash at that point would have cost.
+		return experiments.ExtChurnDurable(cfg, 6, defRecords/10, defRecords/3)
 	default:
 		return nil, fmt.Errorf("unknown experiment id (want fig7a..fig12d or all)")
 	}

@@ -82,7 +82,11 @@ func main() {
 	// A correction arrives: 500 orders are cancelled. Deletion is an
 	// index operation; the refreshed view stays k-anonymous.
 	for i := 0; i < 500; i++ {
-		if !rt.Delete(all[i].ID, all[i].QI) {
+		found, err := rt.Delete(all[i].ID, all[i].QI)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !found {
 			log.Fatalf("cancel of order %d failed", all[i].ID)
 		}
 	}

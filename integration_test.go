@@ -65,7 +65,7 @@ func TestEndToEndLifecycle(t *testing.T) {
 
 	// Phase 3: 250 cancellations.
 	for i := 0; i < 250; i++ {
-		if !rt.Delete(arrived[i].ID, arrived[i].QI) {
+		if found, err := rt.Delete(arrived[i].ID, arrived[i].QI); err != nil || !found {
 			t.Fatalf("delete %d failed", arrived[i].ID)
 		}
 	}

@@ -187,8 +187,13 @@ func (a *RTreeAnonymizer) Insert(rec attr.Record) error {
 	return a.tree.Insert(rec)
 }
 
-// Delete removes the record with the given ID at qi.
-func (a *RTreeAnonymizer) Delete(id int64, qi []float64) bool { return a.tree.Delete(id, qi) }
+// Delete removes the record with the given ID at qi. The bool reports
+// whether the record was found; the error surfaces storage-charge
+// failures from an attached loader during underflow repair (the
+// removal itself has still happened).
+func (a *RTreeAnonymizer) Delete(id int64, qi []float64) (bool, error) {
+	return a.tree.Delete(id, qi)
+}
 
 // Update relocates a record. The bool reports whether the record was
 // found; the error surfaces storage-charge failures from an attached

@@ -179,7 +179,7 @@ func TestRTreeDeleteUpdateMaintainsAnonymity(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 200; i++ {
-		if !a.Delete(recs[i].ID, recs[i].QI) {
+		if found, err := a.Delete(recs[i].ID, recs[i].QI); err != nil || !found {
 			t.Fatalf("delete %d failed", recs[i].ID)
 		}
 	}

@@ -67,7 +67,11 @@ func ExtChurn(cfg Config, rounds, batch int) (*ExtChurnResult, error) {
 			batch = len(live)
 		}
 		for _, r := range live[:batch] {
-			if !rt.Delete(r.ID, r.QI) {
+			found, err := rt.Delete(r.ID, r.QI)
+			if err != nil {
+				return nil, err
+			}
+			if !found {
 				return nil, errDeleteFailed(r.ID)
 			}
 		}

@@ -1,0 +1,130 @@
+package fault
+
+import (
+	"errors"
+	"fmt"
+
+	"spatialanon/internal/pager"
+)
+
+// CrashError is the typed error a Crash point returns once it fires.
+// It models process death at a precise point in the durable-operation
+// sequence: unlike the taxonomy in Error, a crash is neither retryable
+// nor page-scoped — every durable operation after the crash point fails
+// too, because the process is "dead". The WAL recovery path detects it
+// structurally via the Crashed() method so the two packages need not
+// import each other.
+type CrashError struct {
+	// Op counts durable operations at the moment of death, so a failure
+	// report can name the exact crash point that produced it.
+	Op int
+}
+
+// Error implements error.
+func (e *CrashError) Error() string {
+	return fmt.Sprintf("fault: simulated crash at durable op %d", e.Op)
+}
+
+// Transient implements the structural retry convention: a crash is
+// never retryable.
+func (e *CrashError) Transient() bool { return false }
+
+// Crashed marks the error as a process-death simulation; the WAL layer
+// matches on this method.
+func (e *CrashError) Crashed() bool { return true }
+
+// IsCrash reports whether err is (or wraps) a simulated crash.
+func IsCrash(err error) bool {
+	var c interface{ Crashed() bool }
+	return errors.As(err, &c) && c.Crashed()
+}
+
+// Crash is a deterministic crash-point injector. It counts durable
+// operations — WAL frame appends and pager page write-backs share one
+// counter — and kills the process simulation at the Nth one. Once
+// fired, it stays fired: every later durable operation fails with the
+// same CrashError, which is what distinguishes a crash from the
+// recoverable faults in Injector.
+//
+// A crash can also be *torn*: the fatal WAL append persists only a
+// prefix of its frame, modelling a power cut mid-write. The chaos
+// harness uses this to assert that recovery treats a torn tail as
+// "not committed" rather than as corruption.
+//
+// Crash implements pager.FaultPolicy for the write-back side; the WAL
+// writer consumes it through the structural CrashPolicy interface
+// (BeforeAppend). It is not safe for concurrent use.
+type Crash struct {
+	// At is the 1-based ordinal of the durable operation that dies.
+	// Zero disables the crash point entirely (useful for counting a
+	// workload's total durable operations).
+	At int
+	// Torn, in [0,1], applies only when the fatal operation is a WAL
+	// append: the fraction of the final frame that still reaches disk.
+	// 0 means the frame vanishes entirely.
+	Torn float64
+
+	ops  int
+	dead *CrashError
+}
+
+// BeforeAppend is consumed structurally by the WAL writer before each
+// frame append. It returns how many bytes of the frame may persist and
+// whether the process dies at this operation. A non-crashing append
+// persists the whole frame.
+func (c *Crash) BeforeAppend(frameLen int) (persist int, crashed bool) {
+	if c.dead != nil {
+		return 0, true
+	}
+	c.ops++
+	if c.At > 0 && c.ops >= c.At {
+		c.dead = &CrashError{Op: c.ops}
+		persist = int(c.Torn * float64(frameLen))
+		if persist > frameLen {
+			persist = frameLen
+		}
+		return persist, true
+	}
+	return frameLen, false
+}
+
+// BeforeRead implements pager.FaultPolicy. Reads are not durable
+// operations — they do not advance the crash clock — but a dead
+// process cannot read either.
+func (c *Crash) BeforeRead(id pager.PageID) error {
+	if c.dead != nil {
+		return c.dead
+	}
+	return nil
+}
+
+// BeforeWrite implements pager.FaultPolicy: each page write-back is one
+// durable operation on the shared crash clock.
+func (c *Crash) BeforeWrite(id pager.PageID) error {
+	if c.dead != nil {
+		return c.dead
+	}
+	c.ops++
+	if c.At > 0 && c.ops >= c.At {
+		c.dead = &CrashError{Op: c.ops}
+		return c.dead
+	}
+	return nil
+}
+
+// CorruptWrite implements pager.FaultPolicy; the crash injector never
+// corrupts pages that do get written.
+func (c *Crash) CorruptWrite(id pager.PageID, data []byte) bool { return false }
+
+// Err returns the CrashError if the crash point has fired, else nil.
+func (c *Crash) Err() error {
+	if c.dead != nil {
+		return c.dead
+	}
+	return nil
+}
+
+// Ops returns the number of durable operations observed so far. Running
+// a workload with At == 0 and reading Ops afterwards yields the size of
+// the crash-point matrix for that workload.
+func (c *Crash) Ops() int { return c.ops }

@@ -1,0 +1,92 @@
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestCrashFiresAtExactOp(t *testing.T) {
+	c := &Crash{At: 3}
+	// Ops 1 and 2 survive; op 3 dies.
+	if n, crashed := c.BeforeAppend(100); crashed || n != 100 {
+		t.Fatalf("op 1: persist=%d crashed=%v", n, crashed)
+	}
+	if err := c.BeforeWrite(7); err != nil {
+		t.Fatalf("op 2: %v", err)
+	}
+	if _, crashed := c.BeforeAppend(100); !crashed {
+		t.Fatal("op 3 did not crash")
+	}
+	if c.Err() == nil {
+		t.Fatal("Err() nil after crash")
+	}
+	// Everything after a crash fails, without advancing the clock.
+	if err := c.BeforeWrite(8); err == nil {
+		t.Fatal("write after death succeeded")
+	}
+	if err := c.BeforeRead(8); err == nil {
+		t.Fatal("read after death succeeded")
+	}
+	if _, crashed := c.BeforeAppend(10); !crashed {
+		t.Fatal("append after death succeeded")
+	}
+	if c.Ops() != 3 {
+		t.Fatalf("ops = %d, want 3", c.Ops())
+	}
+}
+
+func TestCrashTornPersistsPrefix(t *testing.T) {
+	cases := []struct {
+		torn float64
+		want int
+	}{
+		{0, 0},
+		{0.5, 40},
+		{1, 80},
+	}
+	for _, tc := range cases {
+		c := &Crash{At: 1, Torn: tc.torn}
+		n, crashed := c.BeforeAppend(80)
+		if !crashed {
+			t.Fatalf("torn=%v: did not crash", tc.torn)
+		}
+		if n != tc.want {
+			t.Errorf("torn=%v: persist=%d, want %d", tc.torn, n, tc.want)
+		}
+	}
+}
+
+func TestCrashDisabledCountsOps(t *testing.T) {
+	c := &Crash{}
+	for i := 0; i < 5; i++ {
+		if _, crashed := c.BeforeAppend(10); crashed {
+			t.Fatal("disabled crash point fired")
+		}
+		if err := c.BeforeWrite(1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.Ops() != 10 {
+		t.Fatalf("ops = %d, want 10", c.Ops())
+	}
+	if c.Err() != nil {
+		t.Fatalf("Err() = %v on disabled point", c.Err())
+	}
+}
+
+func TestCrashErrorClassification(t *testing.T) {
+	err := fmt.Errorf("append: %w", &CrashError{Op: 4})
+	if !IsCrash(err) {
+		t.Error("wrapped CrashError not detected by IsCrash")
+	}
+	if IsTransient(err) {
+		t.Error("crash must not be retryable")
+	}
+	if IsCrash(errors.New("plain")) {
+		t.Error("plain error detected as crash")
+	}
+	if IsCrash(nil) {
+		t.Error("nil detected as crash")
+	}
+}

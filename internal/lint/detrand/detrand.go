@@ -46,6 +46,8 @@ var Deterministic = map[string]bool{
 	"spatialanon/internal/gridfile":  true,
 	"spatialanon/internal/dataset":   true,
 	"spatialanon/internal/detrng":    true,
+	"spatialanon/internal/retry":     true,
+	"spatialanon/internal/wal":       true,
 }
 
 // Analyzer flags the three nondeterminism sources. It carries no

@@ -1,0 +1,244 @@
+package pager
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func newFilePager(t *testing.T, pageSize, pool int) (*Pager, string) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "pages.db")
+	d, err := CreateDiskFile(path, pageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewWithDisk(pageSize, pool, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, path
+}
+
+func TestDiskFilePersistsAcrossReopen(t *testing.T) {
+	p, path := newFilePager(t, 32, 4)
+	var ids []PageID
+	for i := 0; i < 6; i++ {
+		id, data, err := p.Alloc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		data[0] = byte('A' + i)
+		p.Unpin(id)
+		ids = append(ids, id)
+	}
+	// Free one page so the reopen sees a hole.
+	if err := p.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Free(ids[2]); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	d, err := OpenDiskFile(path, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := NewWithDisk(32, 4, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := p2.DiskPages()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 5 {
+		t.Fatalf("reopened disk has %d pages, want 5: %v", len(got), got)
+	}
+	for i, id := range ids {
+		if i == 2 {
+			if _, err := p2.Read(id); !errors.Is(err, ErrUnknownPage) {
+				t.Fatalf("freed page %d: err = %v, want ErrUnknownPage", id, err)
+			}
+			continue
+		}
+		data, err := p2.Read(id)
+		if err != nil {
+			t.Fatalf("page %d: %v", id, err)
+		}
+		if data[0] != byte('A'+i) {
+			t.Fatalf("page %d payload = %q, want %q", id, data[0], byte('A'+i))
+		}
+		p2.Unpin(id)
+	}
+	// Allocation resumes past the persisted IDs.
+	id, _, err := p2.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id <= ids[len(ids)-1] {
+		t.Fatalf("new page %d not past persisted max %d", id, ids[len(ids)-1])
+	}
+	p2.Unpin(id)
+	if err := p2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiskFileDetectsOnDiskDamage(t *testing.T) {
+	p, path := newFilePager(t, 32, 2)
+	id, data, err := p.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(data, []byte("hello"))
+	p.Unpin(id)
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip a payload byte directly in the file, behind the pager's back.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-1] ^= 0xff
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	d, err := OpenDiskFile(path, 0) // page size from header
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.PageSize() != 32 {
+		t.Fatalf("header page size = %d", d.PageSize())
+	}
+	p2, err := NewWithDisk(32, 2, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ce *CorruptError
+	if _, err := p2.Read(id); !errors.As(err, &ce) {
+		t.Fatalf("read of damaged page: %v, want CorruptError", err)
+	}
+	// Scrub accepts the bytes as truth; the page reads again.
+	repaired, err := p2.Scrub()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(repaired) != 1 || repaired[0] != id {
+		t.Fatalf("scrub repaired %v", repaired)
+	}
+	if _, err := p2.Read(id); err != nil {
+		t.Fatal(err)
+	}
+	p2.Unpin(id)
+	p2.Close()
+}
+
+func TestDiskFileTruncatedSlotSurfacesAsCorrupt(t *testing.T) {
+	p, path := newFilePager(t, 64, 2)
+	id, data, err := p.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		data[i] = 0xAB
+	}
+	p.Unpin(id)
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Tear the slot: keep the state byte and checksum but cut the
+	// payload tail, as a crash mid-write would.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw[:len(raw)-20], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	d, err := OpenDiskFile(path, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := NewWithDisk(64, 2, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ce *CorruptError
+	if _, err := p2.Read(id); !errors.As(err, &ce) {
+		t.Fatalf("read of torn page: %v, want CorruptError", err)
+	}
+	p2.Close()
+}
+
+func TestOpenDiskFileRejectsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "not-a-pagefile")
+	if err := os.WriteFile(path, []byte("hello world, definitely not pages"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenDiskFile(path, 0); err == nil {
+		t.Fatal("garbage file accepted as page file")
+	}
+	if _, err := OpenDiskFile(filepath.Join(dir, "missing"), 0); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+// TestFlushAttemptsEveryPage asserts the joined-error contract: a
+// failing write-back does not stop the flush, every dirty page is
+// attempted, and the error names each failed page.
+func TestFlushAttemptsEveryPage(t *testing.T) {
+	errBoom := errors.New("boom")
+	p := mustNew(t, 16, 8)
+	var ids []PageID
+	for i := 0; i < 4; i++ {
+		id, _, err := p.Alloc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Unpin(id)
+		ids = append(ids, id)
+	}
+	// Fail write-backs 1 and 3 (PageID order): pages 1 and 3 stay dirty,
+	// pages 2 and 4 reach disk.
+	p.SetFaultPolicy(&scriptedFaults{failWrites: map[int]error{1: errBoom, 3: errBoom}})
+	err := p.Flush()
+	if err == nil {
+		t.Fatal("flush with two failing pages returned nil")
+	}
+	if !errors.Is(err, errBoom) {
+		t.Fatalf("joined error loses cause: %v", err)
+	}
+	for _, id := range []PageID{ids[0], ids[2]} {
+		if want := "page " + string('0'+byte(id)); !containsStr(err.Error(), want) {
+			t.Errorf("error %q does not name %s", err, want)
+		}
+	}
+	// The two pages that did write are clean: a retry flush (faults
+	// cleared) writes exactly the two that failed.
+	p.SetFaultPolicy(nil)
+	before := p.Stats().Writes
+	if err := p.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Stats().Writes - before; got != 2 {
+		t.Fatalf("retry flush wrote %d pages, want 2", got)
+	}
+}
+
+func containsStr(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

@@ -1,8 +1,7 @@
-// Package pager is a simulated paged storage manager: a byte-addressable
-// "disk" of fixed-size pages fronted by an LRU buffer pool with a hard
-// memory budget, pin/unpin semantics, dirty-page write-back, explicit
-// I/O statistics, per-page CRC32 checksums and an injectable fault
-// policy.
+// Package pager is a paged storage manager: a byte-addressable "disk"
+// of fixed-size pages fronted by an LRU buffer pool with a hard memory
+// budget, pin/unpin semantics, dirty-page write-back, explicit I/O
+// statistics, per-page CRC32 checksums and an injectable fault policy.
 //
 // The paper's scalability experiments (Figure 8) report *counts of
 // explicit I/O system calls* while varying the memory allotted to the
@@ -12,11 +11,19 @@
 // node pages and buffer-spill pages here rather than in plain Go heap
 // memory.
 //
+// Backends. The pager's disk is pluggable (the Disk interface): New
+// installs the default in-memory simulation, which is all the I/O
+// *counting* experiments need, while NewWithDisk accepts any backend —
+// in particular DiskFile (diskfile.go), which persists sealed pages to
+// a real file so the durability subsystem (internal/wal) can survive
+// process death. Checksums, fault injection and the buffer pool behave
+// identically over either backend.
+//
 // Failure semantics. Every page carries a CRC32-Castagnoli checksum,
-// sealed when the page is written back to the simulated disk and
-// verified when it is next read from disk. A mismatch is reported as a
-// typed *CorruptError — the pager never silently returns rotted bytes.
-// A FaultPolicy installed with SetFaultPolicy can fail reads and
+// sealed when the page is written back to the disk and verified when it
+// is next read from disk. A mismatch is reported as a typed
+// *CorruptError — the pager never silently returns rotted bytes. A
+// FaultPolicy installed with SetFaultPolicy can fail reads and
 // write-backs (internal/fault provides a deterministic, seed-driven
 // implementation) and corrupt outgoing pages after the checksum is
 // sealed, which is exactly how torn writes and bit rot escape a real
@@ -27,18 +34,19 @@ package pager
 
 import (
 	"container/list"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"sort"
 )
 
-// PageID names one page of the simulated disk. Zero is never a valid ID.
+// PageID names one page of the disk. Zero is never a valid ID.
 type PageID int64
 
 // Stats counts the explicit I/O operations the pager has performed.
 // Reads and Writes are page transfers between the buffer pool and the
-// simulated disk; Allocs counts pages ever allocated; Hits counts buffer
-// pool hits that avoided a read.
+// disk; Allocs counts pages ever allocated; Hits counts buffer pool
+// hits that avoided a read.
 type Stats struct {
 	Reads  int64
 	Writes int64
@@ -81,16 +89,98 @@ func (e *CorruptError) Error() string {
 	return fmt.Sprintf("pager: page %d corrupt: checksum %08x, stored %08x", e.Page, e.Got, e.Want)
 }
 
+// ErrUnknownPage reports a read of a page the disk has never stored.
+var ErrUnknownPage = errors.New("pager: read of unknown page")
+
 // crcTable is the Castagnoli polynomial, the same choice as iSCSI and
 // ext4 metadata checksums (hardware-accelerated on amd64/arm64).
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
-// diskPage is one page at rest: payload plus the checksum sealed at
-// write-back time.
-type diskPage struct {
+// Checksum seals a page payload with the pager's CRC32-C. Exported so
+// backends and recovery tooling agree on the polynomial.
+func Checksum(data []byte) uint32 { return crc32.Checksum(data, crcTable) }
+
+// Disk is the storage behind the buffer pool: sealed pages at rest.
+// Implementations store the payload together with the checksum sealed
+// at write-back; the pager verifies the seal on read, so a backend
+// never needs to interpret page contents. Implementations are driven
+// from the pager's single goroutine.
+type Disk interface {
+	// ReadPage returns the stored payload and its sealed checksum.
+	// Unknown pages report an error wrapping ErrUnknownPage. The
+	// returned slice may alias backend storage; the pager copies it.
+	ReadPage(id PageID) (data []byte, sum uint32, err error)
+	// WritePage stores the payload under the (already sealed) checksum,
+	// overwriting any previous version of the page.
+	WritePage(id PageID, data []byte, sum uint32) error
+	// FreePage drops the page. It reports whether the page was stored.
+	FreePage(id PageID) (bool, error)
+	// IDs returns every stored page in ascending order.
+	IDs() ([]PageID, error)
+	// MaxID returns the highest page ID ever stored (0 when empty), so
+	// a reopened pager resumes allocation past persisted pages.
+	MaxID() (PageID, error)
+	// Sync forces stored pages to stable media (no-op for memory).
+	Sync() error
+	// Close releases backend resources.
+	Close() error
+}
+
+// memDisk is the default backend: the in-memory simulation used by the
+// I/O-counting experiments.
+type memDisk struct {
+	pages map[PageID]memPage
+}
+
+type memPage struct {
 	data []byte
 	sum  uint32
 }
+
+// NewMemDisk returns the in-memory Disk backend New installs by
+// default.
+func NewMemDisk() Disk { return &memDisk{pages: make(map[PageID]memPage)} }
+
+func (d *memDisk) ReadPage(id PageID) ([]byte, uint32, error) {
+	p, ok := d.pages[id]
+	if !ok {
+		return nil, 0, fmt.Errorf("%w: page %d", ErrUnknownPage, id)
+	}
+	return p.data, p.sum, nil
+}
+
+func (d *memDisk) WritePage(id PageID, data []byte, sum uint32) error {
+	d.pages[id] = memPage{data: data, sum: sum}
+	return nil
+}
+
+func (d *memDisk) FreePage(id PageID) (bool, error) {
+	_, ok := d.pages[id]
+	delete(d.pages, id)
+	return ok, nil
+}
+
+func (d *memDisk) IDs() ([]PageID, error) {
+	ids := make([]PageID, 0, len(d.pages))
+	for id := range d.pages {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids, nil
+}
+
+func (d *memDisk) MaxID() (PageID, error) {
+	var max PageID
+	for id := range d.pages {
+		if id > max {
+			max = id
+		}
+	}
+	return max, nil
+}
+
+func (d *memDisk) Sync() error  { return nil }
+func (d *memDisk) Close() error { return nil }
 
 type frame struct {
 	id    PageID
@@ -106,7 +196,7 @@ type Pager struct {
 	pageSize  int
 	poolPages int
 
-	disk   map[PageID]diskPage
+	disk   Disk
 	frames map[PageID]*frame
 	lru    *list.List // front = most recently used; holds *frame
 	nextID PageID
@@ -114,23 +204,39 @@ type Pager struct {
 	fault  FaultPolicy
 }
 
-// New returns a pager with the given page size in bytes and a buffer
-// pool of poolPages pages. It returns an error when pageSize is not
-// positive or poolPages is below 1 — both reachable from user-supplied
-// memory budgets, so they are errors rather than panics.
+// New returns a pager over the in-memory disk with the given page size
+// in bytes and a buffer pool of poolPages pages. It returns an error
+// when pageSize is not positive or poolPages is below 1 — both
+// reachable from user-supplied memory budgets, so they are errors
+// rather than panics.
 func New(pageSize, poolPages int) (*Pager, error) {
+	return NewWithDisk(pageSize, poolPages, NewMemDisk())
+}
+
+// NewWithDisk returns a pager over the given backend. Pages the backend
+// already stores stay readable, and allocation resumes past the highest
+// stored ID — this is how a reopened DiskFile recovers its pages.
+func NewWithDisk(pageSize, poolPages int, d Disk) (*Pager, error) {
 	if pageSize <= 0 {
 		return nil, fmt.Errorf("pager: page size %d must be positive", pageSize)
 	}
 	if poolPages < 1 {
 		return nil, fmt.Errorf("pager: buffer pool of %d pages must hold at least 1", poolPages)
 	}
+	if d == nil {
+		return nil, fmt.Errorf("pager: nil disk")
+	}
+	max, err := d.MaxID()
+	if err != nil {
+		return nil, fmt.Errorf("pager: scanning disk: %w", err)
+	}
 	return &Pager{
 		pageSize:  pageSize,
 		poolPages: poolPages,
-		disk:      make(map[PageID]diskPage),
+		disk:      d,
 		frames:    make(map[PageID]*frame),
 		lru:       list.New(),
+		nextID:    max,
 	}, nil
 }
 
@@ -213,10 +319,8 @@ func (p *Pager) Free(id PageID) error {
 		p.lru.Remove(f.elem)
 		delete(p.frames, id)
 	}
-	if _, ok := p.disk[id]; ok {
-		delete(p.disk, id)
-		p.stats.Frees++
-		return nil
+	if _, err := p.disk.FreePage(id); err != nil {
+		return err
 	}
 	// Page may be resident-only (never written back) — that is still a
 	// legitimate free as long as it was allocated.
@@ -225,8 +329,11 @@ func (p *Pager) Free(id PageID) error {
 }
 
 // Flush writes every dirty pooled page back to disk, in PageID order so
-// fault schedules replay deterministically. It stops at the first
-// write-back failure.
+// fault schedules replay deterministically. Every dirty page is
+// attempted even after one fails, so a partial flush leaves the
+// smallest possible set of unsynced pages; the errors are joined, each
+// naming its page, which is how checkpointing reports exactly what is
+// not yet durable.
 func (p *Pager) Flush() error {
 	ids := make([]PageID, 0, len(p.frames))
 	for id, f := range p.frames {
@@ -235,13 +342,32 @@ func (p *Pager) Flush() error {
 		}
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	var errs []error
 	for _, id := range ids {
 		if err := p.writeBack(p.frames[id]); err != nil {
-			return err
+			errs = append(errs, fmt.Errorf("pager: flush of page %d: %w", id, err))
 		}
 	}
-	return nil
+	return errors.Join(errs...)
 }
+
+// Sync forces the backend to persist written pages to stable media
+// (a no-op for the in-memory disk). It does not write back dirty pool
+// pages — call Flush first.
+func (p *Pager) Sync() error { return p.disk.Sync() }
+
+// Close flushes dirty pages and releases the backend. The pager must
+// not be used afterwards.
+func (p *Pager) Close() error {
+	ferr := p.Flush()
+	cerr := p.disk.Close()
+	return errors.Join(ferr, cerr)
+}
+
+// CloseNoFlush releases the backend without writing back dirty pool
+// pages — the "process died" close used after a simulated crash:
+// whatever reached disk before the crash stays exactly as it is.
+func (p *Pager) CloseNoFlush() error { return p.disk.Close() }
 
 // Resident reports whether the page is currently in the buffer pool.
 func (p *Pager) Resident(id PageID) bool {
@@ -249,20 +375,26 @@ func (p *Pager) Resident(id PageID) bool {
 	return ok
 }
 
+// DiskPages returns every page currently stored by the backend, in
+// ascending order. Recovery uses it to find (and free) checkpoint pages
+// a crash left unreferenced.
+func (p *Pager) DiskPages() ([]PageID, error) { return p.disk.IDs() }
+
 // FlipBit flips one bit of the on-disk copy of a page without updating
 // its checksum — the bit-rot hook for tests and fault drills. The next
 // disk read of the page fails with a *CorruptError.
 func (p *Pager) FlipBit(id PageID, bit int) error {
-	dp, ok := p.disk[id]
-	if !ok {
+	data, sum, err := p.disk.ReadPage(id)
+	if err != nil {
 		return fmt.Errorf("pager: FlipBit of page %d not on disk", id)
 	}
-	if bit < 0 || bit >= 8*len(dp.data) {
-		return fmt.Errorf("pager: bit %d outside page of %d bytes", bit, len(dp.data))
+	if bit < 0 || bit >= 8*len(data) {
+		return fmt.Errorf("pager: bit %d outside page of %d bytes", bit, len(data))
 	}
-	dp.data[bit/8] ^= 1 << (bit % 8)
-	p.disk[id] = dp
-	return nil
+	buf := make([]byte, len(data))
+	copy(buf, data)
+	buf[bit/8] ^= 1 << (bit % 8)
+	return p.disk.WritePage(id, buf, sum)
 }
 
 // Scrub re-seals the checksum of every on-disk page whose stored
@@ -270,20 +402,31 @@ func (p *Pager) FlipBit(id PageID, bit int) error {
 // ascending order. It models the recovery step a deployment performs
 // once corruption is detected, fsck-style: the page's current bytes
 // are accepted as truth and re-sealed. No original bytes come back —
-// which is safe here because page payloads are I/O-cost proxies and
-// never the system of record. The chaos harness calls it to
-// prove the system resumes cleanly after torn writes and bit rot.
-func (p *Pager) Scrub() []PageID {
+// safe for the I/O-cost-proxy pages of the bulk loader, and surfaced
+// (never hidden) for checkpoint pages, whose recovery path re-verifies
+// a whole-snapshot checksum after reassembly. The chaos harness calls
+// it to prove the system resumes cleanly after torn writes and bit rot.
+func (p *Pager) Scrub() ([]PageID, error) {
+	ids, err := p.disk.IDs()
+	if err != nil {
+		return nil, err
+	}
 	var repaired []PageID
-	for id, dp := range p.disk {
-		if crc32.Checksum(dp.data, crcTable) != dp.sum {
-			dp.sum = crc32.Checksum(dp.data, crcTable)
-			p.disk[id] = dp
+	for _, id := range ids {
+		data, sum, err := p.disk.ReadPage(id)
+		if err != nil {
+			return repaired, err
+		}
+		if got := crc32.Checksum(data, crcTable); got != sum {
+			buf := make([]byte, len(data))
+			copy(buf, data)
+			if err := p.disk.WritePage(id, buf, got); err != nil {
+				return repaired, err
+			}
 			repaired = append(repaired, id)
 		}
 	}
-	sort.Slice(repaired, func(i, j int) bool { return repaired[i] < repaired[j] })
-	return repaired
+	return repaired, nil
 }
 
 // fetch returns the frame for id, reading it from disk if necessary and
@@ -294,21 +437,21 @@ func (p *Pager) fetch(id PageID) (*frame, error) {
 		p.lru.MoveToFront(f.elem)
 		return f, nil
 	}
-	dp, ok := p.disk[id]
-	if !ok {
-		return nil, fmt.Errorf("pager: read of unknown page %d", id)
-	}
 	if p.fault != nil {
 		if err := p.fault.BeforeRead(id); err != nil {
 			return nil, err
 		}
 	}
+	data, sum, err := p.disk.ReadPage(id)
+	if err != nil {
+		return nil, err
+	}
 	p.stats.Reads++
-	if got := crc32.Checksum(dp.data, crcTable); got != dp.sum {
-		return nil, &CorruptError{Page: id, Want: dp.sum, Got: got}
+	if got := crc32.Checksum(data, crcTable); got != sum {
+		return nil, &CorruptError{Page: id, Want: sum, Got: got}
 	}
 	buf := make([]byte, p.pageSize)
-	copy(buf, dp.data)
+	copy(buf, data)
 	return p.install(id, buf)
 }
 
@@ -345,25 +488,26 @@ func (p *Pager) evictOne() error {
 	return fmt.Errorf("pager: buffer pool of %d pages exhausted by pinned pages", p.poolPages)
 }
 
-// writeBack persists a frame to the simulated disk. The checksum is
-// sealed over the intended bytes before the fault policy gets a chance
-// to corrupt them — a torn or rotted write therefore lands under a
-// stale checksum and is detected on the next read, never silently
-// returned.
+// writeBack persists a frame to the disk. The checksum is sealed over
+// the intended bytes before the fault policy gets a chance to corrupt
+// them — a torn or rotted write therefore lands under a stale checksum
+// and is detected on the next read, never silently returned.
 func (p *Pager) writeBack(f *frame) error {
 	if p.fault != nil {
 		if err := p.fault.BeforeWrite(f.id); err != nil {
 			return err
 		}
 	}
-	p.stats.Writes++
 	buf := make([]byte, p.pageSize)
 	copy(buf, f.data)
 	sum := crc32.Checksum(buf, crcTable)
 	if p.fault != nil {
 		p.fault.CorruptWrite(f.id, buf)
 	}
-	p.disk[f.id] = diskPage{data: buf, sum: sum}
+	if err := p.disk.WritePage(f.id, buf, sum); err != nil {
+		return err
+	}
+	p.stats.Writes++
 	f.dirty = false
 	return nil
 }

@@ -390,12 +390,15 @@ func TestScrubRepairsCorruptPages(t *testing.T) {
 	evictAll(t, p)
 	p.FlipBit(ids[0], 3)
 	p.FlipBit(ids[2], 40)
-	repaired := p.Scrub()
+	repaired, err := p.Scrub()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(repaired) != 2 || repaired[0] != ids[0] || repaired[1] != ids[2] {
 		t.Fatalf("scrub repaired %v", repaired)
 	}
-	if again := p.Scrub(); len(again) != 0 {
-		t.Fatalf("second scrub repaired %v", again)
+	if again, err := p.Scrub(); err != nil || len(again) != 0 {
+		t.Fatalf("second scrub repaired %v (err %v)", again, err)
 	}
 	for _, id := range ids {
 		if _, err := p.Read(id); err != nil {

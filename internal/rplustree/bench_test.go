@@ -47,7 +47,7 @@ func BenchmarkDeleteInsert(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		r := recs[i%len(recs)]
-		if !tr.Delete(r.ID, r.QI) {
+		if found, err := tr.Delete(r.ID, r.QI); err != nil || !found {
 			b.Fatal("delete failed")
 		}
 		if err := tr.Insert(r); err != nil {

@@ -1,12 +1,12 @@
 package rplustree
 
 import (
-	"errors"
 	"fmt"
 
 	"spatialanon/internal/attr"
 	"spatialanon/internal/pager"
 	"spatialanon/internal/par"
+	"spatialanon/internal/retry"
 )
 
 // This file implements the buffer-tree bulk loading algorithm of
@@ -50,10 +50,10 @@ import (
 // pager.Scrub) — the property the chaos suite in internal/verify
 // asserts schedule by schedule.
 
-// transientRetries bounds how many times the loader retries a pager
-// operation that failed with a transient fault before giving up and
-// propagating the error.
-const transientRetries = 3
+// transientRetries bounds how many total tries the loader gives a
+// pager operation that fails with transient faults before giving up
+// and propagating the error.
+const transientRetries = 4
 
 // BulkLoadConfig parameterizes a BulkLoader.
 type BulkLoadConfig struct {
@@ -168,24 +168,14 @@ func (bl *BulkLoader) Close() error {
 	return nil
 }
 
-// retry runs op, retrying a bounded number of times while it fails
-// with a transient storage fault. Anything in the error chain exposing
-// `Transient() bool` participates (see fault.IsTransient); the check
-// is duplicated here so the index does not depend on the injector
-// package.
+// retry runs op under the repository-wide bounded-retry policy
+// (internal/retry): transient storage faults are retried up to
+// transientRetries total tries, anything else returns immediately.
+// The loader works against simulated storage, so no backoff delay is
+// configured — a transient fault clears on the next call by
+// construction.
 func (bl *BulkLoader) retry(op func() error) error {
-	var err error
-	for attempt := 0; attempt <= transientRetries; attempt++ {
-		err = op()
-		if err == nil {
-			return nil
-		}
-		var tr interface{ Transient() bool }
-		if !errors.As(err, &tr) || !tr.Transient() {
-			return err
-		}
-	}
-	return err
+	return retry.Policy{Attempts: transientRetries}.Do(op)
 }
 
 // Insert blocks one record in the root buffer, emptying it downward when

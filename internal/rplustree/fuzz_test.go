@@ -32,7 +32,7 @@ func FuzzInsertDeleteInvariants(f *testing.F) {
 			if a%5 == 4 && len(live) > 0 {
 				victim := live[0]
 				live = live[1:]
-				if !tr.Delete(victim.ID, victim.QI) {
+				if found, err := tr.Delete(victim.ID, victim.QI); err != nil || !found {
 					t.Fatalf("delete of live record %d failed", victim.ID)
 				}
 				continue

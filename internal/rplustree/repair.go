@@ -1,0 +1,206 @@
+package rplustree
+
+import (
+	"spatialanon/internal/attr"
+)
+
+// This file implements underflow repair for incremental maintenance.
+// Deletions can drive a leaf below BaseK, and before this repair
+// existed the tree simply kept the underfull leaf. That was tolerable
+// for one-shot releases — the leaf-scan grouping coalesces small
+// leaves at materialization time — but it is wrong for a long-lived
+// incremental index: a churn workload deleting from one region
+// degrades that region to singleton leaves, every level view (the
+// Section 3.1 hierarchical releases publish raw leaves) exposes them,
+// and the structure drifts ever further from the k-bound shape that
+// Lemma 1's collusion argument assumes the index maintains.
+//
+// Repair is remove-and-reinsert, the R-tree family's classic
+// underflow treatment adapted to this tree's two extra invariants:
+// uniform leaf depth, and routing regions that must remain exactly
+// derivable from the split-trie hyperplanes (the durability layer's
+// snapshot codec rebuilds regions from the tries alone). Merging two
+// sibling leaves in place would need a region union that no single
+// trie hyperplane describes; removing the underfull leaf and routing
+// its records through the normal insertion path needs neither.
+//
+// Removing leaf L under parent P:
+//
+//  1. Splice L's trie leaf out of P's trie: L's trie parent — the
+//     trie node carrying the hyperplane (axis, value) that once
+//     separated L from its sibling subtree S — is overwritten with S.
+//  2. Extend regions across the vacated hyperplane: every node in S
+//     whose region boundary on axis sits exactly at value (exact
+//     float equality — splitRegion copied these bounds bit-for-bit)
+//     is widened to L's outer bound, recursively down the tree, so
+//     the siblings again tile P's region and the trie again derives
+//     every region.
+//  3. Drop L from P's child list, subtract its count along the root
+//     path and retighten ancestor MBRs.
+//  4. Reinsert L's records through Insert: each routes to the leaf
+//     now owning its point. Reinsertion only adds records to
+//     surviving leaves (splitting them if they overflow), so repair
+//     never creates a new underflow, and every leaf it touches stays
+//     at the uniform depth.
+//
+// A parent left with a single child is legal in this tree (a trie
+// subtree that is a lone leaf); but if L is its parent's only child
+// the parent itself must go, so the repair climbs such single-child
+// chains and removes the topmost node whose departure leaves a
+// well-formed sibling set. If the chain reaches the root, the tree
+// has no other records: it is reset to an empty single-leaf tree and
+// the orphans are reinserted from scratch.
+
+// repairUnderflow removes the underfull leaf from the tree and
+// reinserts its records through normal routing. The caller has already
+// removed the deleted record and fixed counts and MBRs along the root
+// path. Errors come from an attached loader's I/O charges during
+// reinsertion; the records are placed regardless.
+func (t *Tree) repairUnderflow(leaf *node) error {
+	// Climb single-child chains: victim is the topmost node that can be
+	// spliced out leaving its parent with at least one child.
+	victim := leaf
+	removed := []*node{leaf}
+	for victim.parent != nil && len(victim.parent.children) == 1 {
+		victim = victim.parent
+		removed = append(removed, victim)
+	}
+
+	// Orphans: the leaf's remaining records, plus anything a bulk
+	// loader had blocked in buffers on the removed chain.
+	orphans := append([]attr.Record(nil), leaf.recs...)
+	if t.loader != nil {
+		for _, n := range removed {
+			if n.buffer != nil {
+				orphans = append(orphans, n.buffer.recs...)
+				for _, id := range n.buffer.pages {
+					t.loader.pg.Free(id)
+				}
+				n.buffer = nil
+			}
+			t.loader.dropNode(n)
+		}
+	}
+
+	parent := victim.parent
+	if parent == nil {
+		// The whole tree was one single-child chain over this leaf:
+		// start over from an empty root.
+		dims := t.cfg.Schema.Dims()
+		t.root = &node{region: infiniteRegion(dims), mbr: attr.NewBox(dims)}
+		t.height = 1
+	} else {
+		oldRegion := victim.region
+		axis, value, victimLeft, sibling := spliceTrieLeaf(parent.trie, victim)
+		if sibling == nil {
+			return &CorruptionError{Detail: "underflow repair of node not present in parent trie"}
+		}
+		idx := -1
+		for i, c := range parent.children {
+			if c == victim {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			// The trie splice already ran; restore is impossible without
+			// the removed hyperplane's subtree shape, but this state is
+			// unreachable unless the structure was already corrupt
+			// (CheckInvariants ties tries to child lists).
+			return &CorruptionError{Detail: "underflow repair of node not present in its parent"}
+		}
+		parent.children = append(parent.children[:idx], parent.children[idx+1:]...)
+
+		// Widen the vacated hyperplane's sibling subtree — and only it:
+		// an unrelated child elsewhere in the trie can share the same
+		// boundary value on this axis without bordering the victim, and
+		// widening it would overlap its own siblings.
+		var newBound float64
+		if victimLeft {
+			newBound = oldRegion[axis].Lo
+		} else {
+			newBound = oldRegion[axis].Hi
+		}
+		var extendTrie func(st *splitTrie)
+		extendTrie = func(st *splitTrie) {
+			if st.isLeaf() {
+				extendAcross(st.child, axis, value, victimLeft, newBound)
+				return
+			}
+			extendTrie(st.left)
+			extendTrie(st.right)
+		}
+		extendTrie(sibling)
+
+		// Subtract the removed subtree along the root path and retighten
+		// MBRs (the victim's records may have defined them).
+		for n := parent; n != nil; n = n.parent {
+			n.count -= victim.count
+			m := attr.NewBox(len(n.region))
+			for _, c := range n.children {
+				m.IncludeBox(c.mbr)
+			}
+			n.mbr = m
+		}
+	}
+
+	var err error
+	for _, r := range orphans {
+		if e := t.Insert(r); e != nil && err == nil {
+			err = e
+		}
+	}
+	return err
+}
+
+// spliceTrieLeaf removes the trie leaf pointing at victim from the
+// trie rooted at st: the trie node whose hyperplane separated victim
+// from its sibling subtree is overwritten with that sibling. It
+// returns the vacated hyperplane, which side victim occupied, and the
+// sibling subtree that took the vacated position (nil when victim is
+// not in the trie — or when st itself is the leaf for victim, which
+// callers exclude: a parent whose whole trie is the victim has one
+// child, and the repair climbs past it).
+func spliceTrieLeaf(st *splitTrie, victim *node) (axis int, value float64, victimLeft bool, sibling *splitTrie) {
+	if st.isLeaf() {
+		return 0, 0, false, nil
+	}
+	if st.left.isLeaf() && st.left.child == victim {
+		axis, value = st.axis, st.value
+		*st = *st.right
+		return axis, value, true, st
+	}
+	if st.right.isLeaf() && st.right.child == victim {
+		axis, value = st.axis, st.value
+		*st = *st.left
+		return axis, value, false, st
+	}
+	if a, v, l, s := spliceTrieLeaf(st.left, victim); s != nil {
+		return a, v, l, s
+	}
+	return spliceTrieLeaf(st.right, victim)
+}
+
+// extendAcross widens n's routing region across a vacated hyperplane:
+// if n's region boundary on axis sits exactly at value on the vacated
+// side, it is moved to newBound, and the extension recurses into n's
+// children (their regions tile n's, so exactly those touching the old
+// boundary extend with it). Nodes not touching the hyperplane are
+// left alone — the exact float comparison is safe because splitRegion
+// propagates split values bit-for-bit into child bounds.
+func extendAcross(n *node, axis int, value float64, victimLeft bool, newBound float64) {
+	if victimLeft {
+		if n.region[axis].Lo != value {
+			return
+		}
+		n.region[axis].Lo = newBound
+	} else {
+		if n.region[axis].Hi != value {
+			return
+		}
+		n.region[axis].Hi = newBound
+	}
+	for _, c := range n.children {
+		extendAcross(c, axis, value, victimLeft, newBound)
+	}
+}

@@ -1,0 +1,323 @@
+package rplustree
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"spatialanon/internal/attr"
+)
+
+// This file is the tree's checkpoint codec. internal/wal serializes a
+// tree into a byte snapshot at checkpoint time and rebuilds it during
+// recovery; the encoding follows the repository's binary conventions
+// (fixed-width little-endian, see internal/dataset's BinaryCodec).
+//
+// The snapshot stores only what cannot be re-derived: the recursive
+// trie structure and the leaf payloads. Routing regions are NOT
+// stored — they are reconstructed from the split-trie hyperplanes
+// exactly as splits created them (bit-identical floats), MBRs and
+// counts are recomputed bottom-up, and the decoder validates what it
+// builds (dimensions, axis bounds, region membership of every record,
+// uniform leaf depth) so a damaged snapshot yields an error, never a
+// quietly wrong tree. Defense in depth: internal/wal additionally
+// checksums the snapshot bytes, and recovery runs the full
+// internal/verify audit on the decoded tree.
+
+// snapshotVersion is bumped on any incompatible layout change.
+const snapshotVersion = 1
+
+// snapMaxDepth bounds the recursion while decoding: deeper nesting
+// than this in a well-formed snapshot would need more nodes than the
+// encoding could hold, so it can only mean corruption (and protects
+// the decoder's stack from adversarial input).
+const snapMaxDepth = 4096
+
+// EncodeSnapshot serializes the tree structure and payloads. A tree
+// with records still blocked in bulk-load buffers cannot be
+// snapshotted — those records are not yet placed — so callers flush
+// first.
+func (t *Tree) EncodeSnapshot() ([]byte, error) {
+	if pending := t.pendingBuffered(t.root); pending > 0 {
+		return nil, fmt.Errorf("rplustree: snapshot with %d records still buffered; flush the loader first", pending)
+	}
+	e := make([]byte, 0, 1024)
+	e = appendU32(e, snapshotVersion)
+	e = appendU32(e, uint32(t.cfg.Schema.Dims()))
+	e = appendU32(e, uint32(t.height))
+	return t.encodeNode(e, t.root), nil
+}
+
+// pendingBuffered counts records blocked in bulk-load buffers.
+func (t *Tree) pendingBuffered(n *node) int {
+	total := 0
+	if n.buffer != nil {
+		total += len(n.buffer.recs)
+	}
+	for _, c := range n.children {
+		total += t.pendingBuffered(c)
+	}
+	return total
+}
+
+func (t *Tree) encodeNode(e []byte, n *node) []byte {
+	if n.isLeaf() {
+		e = append(e, 0)
+		e = appendU32(e, uint32(len(n.recs)))
+		for _, r := range n.recs {
+			e = appendU64(e, uint64(r.ID))
+			for _, v := range r.QI {
+				e = appendU64(e, math.Float64bits(v))
+			}
+			e = appendU32(e, uint32(len(r.Sensitive)))
+			e = append(e, r.Sensitive...)
+		}
+		return e
+	}
+	e = append(e, 1)
+	return t.encodeTrie(e, n.trie)
+}
+
+func (t *Tree) encodeTrie(e []byte, st *splitTrie) []byte {
+	if st.isLeaf() {
+		e = append(e, 0)
+		return t.encodeNode(e, st.child)
+	}
+	e = append(e, 1)
+	e = appendU32(e, uint32(st.axis))
+	e = appendU64(e, math.Float64bits(st.value))
+	e = t.encodeTrie(e, st.left)
+	return t.encodeTrie(e, st.right)
+}
+
+func appendU32(b []byte, v uint32) []byte {
+	return binary.LittleEndian.AppendUint32(b, v)
+}
+
+func appendU64(b []byte, v uint64) []byte {
+	return binary.LittleEndian.AppendUint64(b, v)
+}
+
+// DecodeSnapshot rebuilds a tree from EncodeSnapshot output under the
+// given configuration. Every structural property the rest of the
+// package relies on is re-validated during the decode; arbitrary
+// input yields an error, never a panic or a malformed tree.
+func DecodeSnapshot(cfg Config, data []byte) (*Tree, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	d := &snapDecoder{data: data, leafDepth: -1}
+	version, err := d.u32()
+	if err != nil {
+		return nil, err
+	}
+	if version != snapshotVersion {
+		return nil, fmt.Errorf("rplustree: snapshot version %d, want %d", version, snapshotVersion)
+	}
+	dims, err := d.u32()
+	if err != nil {
+		return nil, err
+	}
+	if int(dims) != cfg.Schema.Dims() {
+		return nil, fmt.Errorf("rplustree: snapshot has %d dimensions, schema has %d", dims, cfg.Schema.Dims())
+	}
+	height, err := d.u32()
+	if err != nil {
+		return nil, err
+	}
+	if height < 1 || height > snapMaxDepth {
+		return nil, fmt.Errorf("rplustree: snapshot height %d out of range", height)
+	}
+	t := &Tree{cfg: cfg, height: int(height)}
+	root, err := d.node(cfg, infiniteRegion(int(dims)), 0)
+	if err != nil {
+		return nil, err
+	}
+	t.root = root
+	if d.off != len(d.data) {
+		return nil, fmt.Errorf("rplustree: snapshot has %d trailing bytes", len(d.data)-d.off)
+	}
+	if d.leafDepth != int(height)-1 {
+		return nil, fmt.Errorf("rplustree: snapshot leaves at depth %d, header says height %d", d.leafDepth, height)
+	}
+	return t, nil
+}
+
+// snapDecoder reads the snapshot byte stream with bounds checking.
+type snapDecoder struct {
+	data      []byte
+	off       int
+	leafDepth int
+}
+
+func (d *snapDecoder) u8() (byte, error) {
+	if d.off+1 > len(d.data) {
+		return 0, fmt.Errorf("rplustree: snapshot truncated at byte %d", d.off)
+	}
+	v := d.data[d.off]
+	d.off++
+	return v, nil
+}
+
+func (d *snapDecoder) u32() (uint32, error) {
+	if d.off+4 > len(d.data) {
+		return 0, fmt.Errorf("rplustree: snapshot truncated at byte %d", d.off)
+	}
+	v := binary.LittleEndian.Uint32(d.data[d.off:])
+	d.off += 4
+	return v, nil
+}
+
+func (d *snapDecoder) u64() (uint64, error) {
+	if d.off+8 > len(d.data) {
+		return 0, fmt.Errorf("rplustree: snapshot truncated at byte %d", d.off)
+	}
+	v := binary.LittleEndian.Uint64(d.data[d.off:])
+	d.off += 8
+	return v, nil
+}
+
+func (d *snapDecoder) bytes(n int) ([]byte, error) {
+	if n < 0 || d.off+n > len(d.data) {
+		return nil, fmt.Errorf("rplustree: snapshot truncated at byte %d", d.off)
+	}
+	b := d.data[d.off : d.off+n]
+	d.off += n
+	return b, nil
+}
+
+// node decodes one node owning the given routing region at the given
+// depth, rebuilding MBRs and counts as it goes.
+func (d *snapDecoder) node(cfg Config, region attr.Box, depth int) (*node, error) {
+	if depth > snapMaxDepth {
+		return nil, fmt.Errorf("rplustree: snapshot nests deeper than %d", snapMaxDepth)
+	}
+	tag, err := d.u8()
+	if err != nil {
+		return nil, err
+	}
+	dims := cfg.Schema.Dims()
+	switch tag {
+	case 0: // leaf
+		if d.leafDepth == -1 {
+			d.leafDepth = depth
+		} else if d.leafDepth != depth {
+			return nil, fmt.Errorf("rplustree: snapshot leaf at depth %d, expected %d", depth, d.leafDepth)
+		}
+		nrecs, err := d.u32()
+		if err != nil {
+			return nil, err
+		}
+		// A record occupies at least 8 (ID) + 8*dims (QI) + 4 (sensitive
+		// length) bytes; reject counts the remaining bytes cannot hold
+		// before allocating.
+		minRec := 8 + 8*dims + 4
+		if int(nrecs) > (len(d.data)-d.off)/minRec {
+			return nil, fmt.Errorf("rplustree: snapshot leaf claims %d records, only %d bytes left", nrecs, len(d.data)-d.off)
+		}
+		n := &node{region: region, mbr: attr.NewBox(dims)}
+		n.recs = make([]attr.Record, 0, nrecs)
+		for i := 0; i < int(nrecs); i++ {
+			id, err := d.u64()
+			if err != nil {
+				return nil, err
+			}
+			qi := make([]float64, dims)
+			for j := range qi {
+				bits, err := d.u64()
+				if err != nil {
+					return nil, err
+				}
+				qi[j] = math.Float64frombits(bits)
+				if math.IsNaN(qi[j]) {
+					return nil, fmt.Errorf("rplustree: snapshot record %d has NaN coordinate", int64(id))
+				}
+			}
+			slen, err := d.u32()
+			if err != nil {
+				return nil, err
+			}
+			sens, err := d.bytes(int(slen))
+			if err != nil {
+				return nil, err
+			}
+			if !regionContains(region, qi) {
+				return nil, fmt.Errorf("rplustree: snapshot record %d at %v outside its leaf region", int64(id), qi)
+			}
+			n.recs = append(n.recs, attr.Record{ID: int64(id), QI: qi, Sensitive: string(sens)})
+			n.mbr.Include(qi)
+		}
+		n.count = len(n.recs)
+		return n, nil
+	case 1: // internal: the trie follows
+		n := &node{region: region, mbr: attr.NewBox(dims)}
+		trie, err := d.trie(cfg, n, region, depth, 0)
+		if err != nil {
+			return nil, err
+		}
+		n.trie = trie
+		if len(n.children) == 0 {
+			return nil, fmt.Errorf("rplustree: snapshot internal node with no children")
+		}
+		return n, nil
+	default:
+		return nil, fmt.Errorf("rplustree: snapshot node tag %d", tag)
+	}
+}
+
+// trie decodes the split trie of parent, deriving each child's region
+// from the hyperplanes and wiring children into parent. depth is the
+// parent's tree depth (child nodes sit at depth+1 regardless of how
+// deep in the trie their leaf is); guard counts trie nesting only, as
+// a corruption backstop.
+func (d *snapDecoder) trie(cfg Config, parent *node, region attr.Box, depth, guard int) (*splitTrie, error) {
+	if guard > snapMaxDepth {
+		return nil, fmt.Errorf("rplustree: snapshot nests deeper than %d", snapMaxDepth)
+	}
+	tag, err := d.u8()
+	if err != nil {
+		return nil, err
+	}
+	switch tag {
+	case 0: // trie leaf: a child node
+		child, err := d.node(cfg, region, depth+1)
+		if err != nil {
+			return nil, err
+		}
+		child.parent = parent
+		parent.children = append(parent.children, child)
+		parent.count += child.count
+		parent.mbr.IncludeBox(child.mbr)
+		return &splitTrie{child: child}, nil
+	case 1: // trie split
+		axis, err := d.u32()
+		if err != nil {
+			return nil, err
+		}
+		if int(axis) >= cfg.Schema.Dims() {
+			return nil, fmt.Errorf("rplustree: snapshot split axis %d, schema has %d dimensions", axis, cfg.Schema.Dims())
+		}
+		bits, err := d.u64()
+		if err != nil {
+			return nil, err
+		}
+		value := math.Float64frombits(bits)
+		iv := region[axis]
+		if math.IsNaN(value) || value <= iv.Lo || value >= iv.Hi {
+			return nil, fmt.Errorf("rplustree: snapshot split at %v outside region axis %d %v", value, axis, iv)
+		}
+		leftRegion, rightRegion := splitRegion(region, int(axis), value)
+		left, err := d.trie(cfg, parent, leftRegion, depth, guard+1)
+		if err != nil {
+			return nil, err
+		}
+		right, err := d.trie(cfg, parent, rightRegion, depth, guard+1)
+		if err != nil {
+			return nil, err
+		}
+		return &splitTrie{axis: int(axis), value: value, left: left, right: right}, nil
+	default:
+		return nil, fmt.Errorf("rplustree: snapshot trie tag %d", tag)
+	}
+}

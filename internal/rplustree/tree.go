@@ -503,13 +503,18 @@ func (t *Tree) splitInternal(n *node) error {
 }
 
 // Delete removes the record with the given ID located at point qi.
-// It reports whether a record was found and removed. Underfull leaves
-// are retained: k-anonymity of published views is enforced at
-// materialization time by the leaf-scan grouping (Section 3.2), which
-// coalesces small leaves.
-func (t *Tree) Delete(id int64, qi []float64) bool {
+// It reports whether a record was found and removed. A leaf driven
+// below BaseK is repaired immediately — removed from the tree with
+// its survivors reinserted through normal routing (see repair.go) —
+// so incremental maintenance never accumulates underfull leaves; only
+// a root-leaf tree with fewer than BaseK records total may sit below
+// k, and publication gates on total size anyway. A non-nil error
+// means an attached loader's I/O charge failed during repair
+// reinsertion; the records are placed regardless, exactly as for
+// Insert.
+func (t *Tree) Delete(id int64, qi []float64) (bool, error) {
 	if len(qi) != t.cfg.Schema.Dims() {
-		return false
+		return false, nil
 	}
 	leaf := t.routeToLeaf(t.root, qi)
 	idx := -1
@@ -520,7 +525,7 @@ func (t *Tree) Delete(id int64, qi []float64) bool {
 		}
 	}
 	if idx < 0 {
-		return false
+		return false, nil
 	}
 	leaf.recs = append(leaf.recs[:idx], leaf.recs[idx+1:]...)
 	// Recompute the leaf MBR, then tighten ancestors from their
@@ -538,17 +543,25 @@ func (t *Tree) Delete(id int64, qi []float64) bool {
 		}
 		n.mbr = m
 	}
-	return true
+	if leaf.parent == nil || len(leaf.recs) >= t.cfg.BaseK {
+		return true, nil
+	}
+	return true, t.repairUnderflow(leaf)
 }
 
 // Update relocates a record: it removes the record with the given ID at
 // its old coordinates and reinserts it with new ones. The bool reports
 // whether the record was found. A non-nil error means an attached
-// loader's I/O charge failed during reinsertion; the record has still
-// been reinserted (Insert places it before any fallible work).
+// loader's I/O charge failed during reinsertion or underflow repair;
+// the record has still been reinserted (Insert places it before any
+// fallible work).
 func (t *Tree) Update(id int64, oldQI []float64, rec attr.Record) (bool, error) {
-	if !t.Delete(id, oldQI) {
-		return false, nil
+	found, err := t.Delete(id, oldQI)
+	if !found {
+		return false, err
 	}
-	return true, t.Insert(rec)
+	if e := t.Insert(rec); err == nil {
+		err = e
+	}
+	return true, err
 }

@@ -211,7 +211,7 @@ func TestDelete(t *testing.T) {
 	insertAll(t, tr, recs)
 	// Delete half.
 	for i := 0; i < 100; i++ {
-		if !tr.Delete(recs[i].ID, recs[i].QI) {
+		if found, err := tr.Delete(recs[i].ID, recs[i].QI); err != nil || !found {
 			t.Fatalf("Delete of record %d failed", recs[i].ID)
 		}
 	}
@@ -238,10 +238,10 @@ func TestDelete(t *testing.T) {
 		}
 	}
 	// Delete of unknown ID / wrong dims fails cleanly.
-	if tr.Delete(9999, recs[0].QI) {
+	if found, _ := tr.Delete(9999, recs[0].QI); found {
 		t.Fatal("Delete of unknown ID succeeded")
 	}
-	if tr.Delete(recs[150].ID, []float64{1}) {
+	if found, _ := tr.Delete(recs[150].ID, []float64{1}); found {
 		t.Fatal("Delete with bad dims succeeded")
 	}
 }
@@ -372,7 +372,7 @@ func TestRandomizedInsertDeleteInvariants(t *testing.T) {
 				victim = r
 				break
 			}
-			if !tr.Delete(victim.ID, victim.QI) {
+			if found, err := tr.Delete(victim.ID, victim.QI); err != nil || !found {
 				t.Fatalf("step %d: delete of live record %d failed", step, victim.ID)
 			}
 			delete(live, victim.ID)
@@ -401,7 +401,9 @@ func TestMBRTightAfterDeletes(t *testing.T) {
 		{ID: 5, QI: []float64{55, 0, 55}},
 	}
 	insertAll(t, tr, recs)
-	tr.Delete(2, recs[1].QI) // remove the extreme corner
+	if _, err := tr.Delete(2, recs[1].QI); err != nil { // remove the extreme corner
+		t.Fatal(err)
+	}
 	mbr := tr.MBR()
 	if mbr[0].Hi == 100 || mbr[2].Hi == 100 {
 		t.Fatalf("MBR not tightened after delete: %v", mbr)

@@ -215,8 +215,8 @@ func TestChaosScrubRecoversBitRot(t *testing.T) {
 	if !rotted {
 		t.Fatal("no on-disk page found to corrupt")
 	}
-	if repaired := bl.Pager().Scrub(); len(repaired) != 1 {
-		t.Fatalf("scrub repaired %v pages, want exactly the rotted one", repaired)
+	if repaired, err := bl.Pager().Scrub(); err != nil || len(repaired) != 1 {
+		t.Fatalf("scrub repaired %v pages (err %v), want exactly the rotted one", repaired, err)
 	}
 	more := dataset.GeneratePatients(200, 78)
 	for i := range more {

@@ -37,19 +37,15 @@ func TestTreeAuditPasses(t *testing.T) {
 }
 
 func TestTreeOccupancyFloorCatchesUnderfullLeaf(t *testing.T) {
-	tr := patientTree(t, 5, 800, 32)
-	// Drain one leaf below k by deleting its records: legal for the
-	// index (the leaf scan re-establishes k at publication), so the
-	// default audit passes, but the opt-in floor must flag it.
-	leaf := tr.Leaves()[0]
-	victims := append([]attr.Record(nil), leaf.Records...)
-	for _, r := range victims[:len(victims)-2] {
-		if !tr.Delete(r.ID, r.QI) {
-			t.Fatalf("delete of %d failed", r.ID)
-		}
-	}
+	// Deleting records used to be the way to drain a leaf below k, but
+	// the tree now repairs underflow on Delete (rplustree's
+	// remove-and-reinsert), so an underfull leaf has to be
+	// manufactured directly: build at k=2 and audit against a stricter
+	// floor. The structural audit is satisfied either way; only the
+	// opt-in floor must object.
+	tr := patientTree(t, 2, 800, 32)
 	if err := Tree(tr, TreeOptions{}); err != nil {
-		t.Fatalf("default audit after deletes: %v", err)
+		t.Fatalf("default audit: %v", err)
 	}
 	err := Tree(tr, TreeOptions{MinLeafOccupancy: 5})
 	if err == nil {

@@ -1,0 +1,100 @@
+package wal
+
+import (
+	"reflect"
+	"testing"
+
+	"spatialanon/internal/attr"
+	"spatialanon/internal/pager"
+)
+
+func roundTrip(t *testing.T, r Record) Record {
+	t.Helper()
+	payload, err := Encode(r)
+	if err != nil {
+		t.Fatalf("encode %v: %v", r.Type, err)
+	}
+	got, err := Decode(payload)
+	if err != nil {
+		t.Fatalf("decode %v: %v", r.Type, err)
+	}
+	return got
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	rec := attr.Record{ID: 42, QI: []float64{1.5, -2.25, 0}, Sensitive: "flu"}
+	cases := []Record{
+		{Type: TypeInsert, Seq: 7, Rec: rec},
+		{Type: TypeDelete, Seq: 8, ID: 42, OldQI: []float64{1.5, -2.25, 0}},
+		{Type: TypeUpdate, Seq: 9, ID: 42, OldQI: []float64{1, 2, 3}, Rec: rec},
+		{Type: TypeCheckpointBegin, Seq: 10},
+		{Type: TypeCheckpointEnd, Seq: 11, Manifest: &Manifest{
+			Seq: 11, SnapLen: 4096, SnapCRC: 0xDEADBEEF,
+			Pages: []pager.PageID{3, 1, 9},
+		}},
+	}
+	for _, want := range cases {
+		got := roundTrip(t, want)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%v: round trip\n got %+v\nwant %+v", want.Type, got, want)
+		}
+	}
+}
+
+func TestRecordRoundTripEmptyFields(t *testing.T) {
+	got := roundTrip(t, Record{Type: TypeInsert, Seq: 1, Rec: attr.Record{ID: 1}})
+	if got.Rec.ID != 1 || len(got.Rec.QI) != 0 || got.Rec.Sensitive != "" {
+		t.Fatalf("empty-field record mangled: %+v", got.Rec)
+	}
+	got = roundTrip(t, Record{Type: TypeCheckpointEnd, Seq: 0, Manifest: &Manifest{}})
+	if got.Manifest == nil || len(got.Manifest.Pages) != 0 {
+		t.Fatalf("empty manifest mangled: %+v", got.Manifest)
+	}
+}
+
+func TestEncodeRejectsBadRecords(t *testing.T) {
+	if _, err := Encode(Record{Type: TypeCheckpointEnd}); err == nil {
+		t.Error("checkpoint-end without manifest accepted")
+	}
+	if _, err := Encode(Record{Type: Type(99)}); err == nil {
+		t.Error("unknown type accepted")
+	}
+}
+
+func TestDecodeRejectsDamage(t *testing.T) {
+	payload, err := Encode(Record{Type: TypeUpdate, Seq: 3, ID: 5,
+		OldQI: []float64{1, 2}, Rec: attr.Record{ID: 5, QI: []float64{3, 4}, Sensitive: "x"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(payload); cut++ {
+		if _, err := Decode(payload[:cut]); err == nil {
+			t.Fatalf("truncation to %d bytes accepted", cut)
+		}
+	}
+	if _, err := Decode(append(append([]byte(nil), payload...), 0)); err == nil {
+		t.Error("trailing byte accepted")
+	}
+	if _, err := Decode([]byte{99, 0, 0, 0, 0, 0, 0, 0, 0}); err == nil {
+		t.Error("unknown type byte accepted")
+	}
+	// A vector length no payload could hold is rejected before
+	// allocation.
+	huge, _ := Encode(Record{Type: TypeDelete, Seq: 1, ID: 1})
+	huge[len(huge)-4] = 0xFF
+	huge[len(huge)-3] = 0xFF
+	if _, err := Decode(huge); err == nil {
+		t.Error("oversized vector length accepted")
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	for _, ty := range []Type{TypeInsert, TypeDelete, TypeUpdate, TypeCheckpointBegin, TypeCheckpointEnd} {
+		if s := ty.String(); s == "" || s[:4] == "wal." {
+			t.Errorf("type %d has no name", byte(ty))
+		}
+	}
+	if Type(200).String() != "wal.Type(200)" {
+		t.Errorf("unknown type string: %q", Type(200).String())
+	}
+}

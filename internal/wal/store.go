@@ -1,0 +1,617 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"spatialanon/internal/anonmodel"
+	"spatialanon/internal/attr"
+	"spatialanon/internal/core"
+	"spatialanon/internal/pager"
+	"spatialanon/internal/retry"
+	"spatialanon/internal/rplustree"
+	"spatialanon/internal/verify"
+)
+
+// File names inside a store directory.
+const (
+	logName   = "wal.log"
+	tmpName   = "wal.tmp"
+	pagesName = "pages.db"
+)
+
+// Options parameterizes a durable Store.
+type Options struct {
+	// Dir is the store directory; it holds wal.log and pages.db.
+	Dir string
+	// Tree configures the underlying index.
+	Tree rplustree.Config
+	// CheckpointEvery checkpoints automatically after this many logged
+	// operations since the last checkpoint; 0 means checkpoints happen
+	// only when Checkpoint is called.
+	CheckpointEvery int
+	// PageSize is the pager page size for checkpoint snapshots.
+	// Default 4096.
+	PageSize int
+	// PoolPages is the pager pool capacity. Default 64.
+	PoolPages int
+	// NoSync skips fsync on log appends and checkpoints. The crash
+	// matrix uses it: simulated crashes cut the byte stream exactly
+	// where the injector says, so real fsyncs only cost time there.
+	NoSync bool
+	// Crash, when non-nil, is the crash-point injector for WAL appends
+	// (*fault.Crash implements it).
+	Crash CrashPolicy
+	// PagerFault, when non-nil, is installed as the snapshot pager's
+	// fault policy; a *fault.Crash here shares its durable-operation
+	// clock between page write-backs and WAL appends.
+	PagerFault pager.FaultPolicy
+	// Retry bounds transient-fault retries of log writes. Zero value
+	// means a single try.
+	Retry retry.Policy
+}
+
+func (o Options) withDefaults() Options {
+	if o.PageSize == 0 {
+		o.PageSize = 4096
+	}
+	if o.PoolPages == 0 {
+		o.PoolPages = 64
+	}
+	return o
+}
+
+// RecoveryStats describes what it took to reopen a store.
+type RecoveryStats struct {
+	// CheckpointSeq is the sequence number folded into the snapshot the
+	// recovery started from.
+	CheckpointSeq uint64
+	// Replayed is the number of committed log-tail operations applied
+	// on top of the snapshot.
+	Replayed int
+	// TornBytes is the length of the discarded uncommitted tail.
+	TornBytes int
+	// SnapshotPages and SnapshotBytes size the checkpoint image read.
+	SnapshotPages int
+	SnapshotBytes int
+	// LogBytes is the size of the log image scanned.
+	LogBytes int
+	// PagesFreed counts disk pages leaked by an interrupted checkpoint
+	// and reclaimed during recovery.
+	PagesFreed int
+	// PagerReads/PagerWrites are the pager I/O counters accumulated
+	// during recovery.
+	PagerReads  int64
+	PagerWrites int64
+}
+
+// Store is a crash-consistent anonymizing index: an rplustree whose
+// maintenance operations are write-ahead logged and whose state is
+// periodically checkpointed, with audited recovery. Not safe for
+// concurrent use.
+type Store struct {
+	opts      Options
+	tree      *rplustree.Tree
+	w         *Writer
+	pg        *pager.Pager
+	seq       uint64
+	sinceCkpt int
+	snapPages []pager.PageID
+	recovery  RecoveryStats
+	audited   bool
+	dead      error
+}
+
+// Create initializes a new store in opts.Dir (created if absent). The
+// directory must not already contain a store. The empty tree is
+// checkpointed immediately, so a crash at any later point — including
+// before the first operation — recovers cleanly.
+func Create(opts Options) (*Store, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, err
+	}
+	logPath := filepath.Join(opts.Dir, logName)
+	if _, err := os.Stat(logPath); err == nil {
+		return nil, fmt.Errorf("wal: %s already holds a store; use Open", opts.Dir)
+	}
+	tree, err := rplustree.New(opts.Tree)
+	if err != nil {
+		return nil, err
+	}
+	d, err := pager.CreateDiskFile(filepath.Join(opts.Dir, pagesName), opts.PageSize)
+	if err != nil {
+		return nil, err
+	}
+	pg, err := pager.NewWithDisk(opts.PageSize, opts.PoolPages, d)
+	if err != nil {
+		d.Close()
+		return nil, err
+	}
+	pg.SetFaultPolicy(opts.PagerFault)
+	s := &Store{opts: opts, tree: tree, pg: pg}
+	if err := s.writeCheckpoint(); err != nil {
+		pg.Close()
+		return nil, err
+	}
+	if err := s.audit(); err != nil {
+		s.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// Open recovers a store from opts.Dir: load the last complete
+// checkpoint, replay the committed log tail, discard any torn tail,
+// reclaim pages leaked by an interrupted checkpoint — and then audit
+// the result with internal/verify before the store will publish
+// anything. RecoveryStats reports what the reopen cost.
+func Open(opts Options) (*Store, error) {
+	opts = opts.withDefaults()
+	logPath := filepath.Join(opts.Dir, logName)
+	img, err := os.ReadFile(logPath)
+	if err != nil {
+		return nil, fmt.Errorf("wal: no store in %s: %w", opts.Dir, err)
+	}
+	// A wal.tmp is the residue of a checkpoint that died before its
+	// atomic rename; the checkpoint never happened.
+	os.Remove(filepath.Join(opts.Dir, tmpName))
+
+	d, err := pager.OpenDiskFile(filepath.Join(opts.Dir, pagesName), opts.PageSize)
+	if err != nil {
+		return nil, err
+	}
+	pg, err := pager.NewWithDisk(opts.PageSize, opts.PoolPages, d)
+	if err != nil {
+		d.Close()
+		return nil, err
+	}
+	pg.SetFaultPolicy(opts.PagerFault)
+	s := &Store{opts: opts, pg: pg}
+	s.recovery.LogBytes = len(img)
+
+	if err := s.recover(img); err != nil {
+		pg.Close()
+		return nil, err
+	}
+	// Truncate the uncommitted tail so new appends extend the
+	// committed prefix instead of hiding behind a torn frame.
+	committed := len(img) - s.recovery.TornBytes
+	if s.recovery.TornBytes > 0 {
+		if err := os.Truncate(logPath, int64(committed)); err != nil {
+			pg.Close()
+			return nil, err
+		}
+	}
+	w, err := openWriter(logPath, opts.Crash, opts.NoSync, opts.Retry)
+	if err != nil {
+		pg.Close()
+		return nil, err
+	}
+	s.w = w
+	if err := s.audit(); err != nil {
+		s.Close()
+		return nil, err
+	}
+	st := pg.Stats()
+	s.recovery.PagerReads, s.recovery.PagerWrites = st.Reads, st.Writes
+	return s, nil
+}
+
+// recover rebuilds the tree from the log image: manifest first, then
+// the committed tail.
+func (s *Store) recover(img []byte) error {
+	sc := NewScanner(img)
+	first, ok := sc.Next()
+	if !ok {
+		return fmt.Errorf("wal: log has no committed checkpoint manifest")
+	}
+	rec, err := Decode(first)
+	if err != nil {
+		return fmt.Errorf("wal: manifest: %w", err)
+	}
+	if rec.Type != TypeCheckpointEnd || rec.Manifest == nil {
+		return fmt.Errorf("wal: log starts with %v, want checkpoint-end", rec.Type)
+	}
+	m := rec.Manifest
+
+	// Load the snapshot from its checksummed pages.
+	snap := make([]byte, 0, int(m.SnapLen))
+	for _, id := range m.Pages {
+		data, err := s.pg.Read(id)
+		if err != nil {
+			return fmt.Errorf("wal: checkpoint page %d: %w", id, err)
+		}
+		snap = append(snap, data...)
+		if err := s.pg.Unpin(id); err != nil {
+			return err
+		}
+	}
+	if int(m.SnapLen) > len(snap) {
+		return fmt.Errorf("wal: manifest claims %d snapshot bytes, pages hold %d", m.SnapLen, len(snap))
+	}
+	snap = snap[:m.SnapLen]
+	if got := Checksum(snap); got != m.SnapCRC {
+		return fmt.Errorf("wal: snapshot checksum %08x, manifest says %08x", got, m.SnapCRC)
+	}
+	tree, err := rplustree.DecodeSnapshot(s.opts.Tree, snap)
+	if err != nil {
+		return err
+	}
+	s.tree = tree
+	s.seq = m.Seq
+	s.snapPages = append([]pager.PageID(nil), m.Pages...)
+	s.recovery.CheckpointSeq = m.Seq
+	s.recovery.SnapshotPages = len(m.Pages)
+	s.recovery.SnapshotBytes = int(m.SnapLen)
+
+	// Replay the committed tail.
+	for {
+		payload, ok := sc.Next()
+		if !ok {
+			break
+		}
+		rec, err := Decode(payload)
+		if err != nil {
+			return fmt.Errorf("wal: replaying op %d: %w", s.seq+1, err)
+		}
+		if rec.Type == TypeCheckpointBegin {
+			continue // intent marker; carries no state
+		}
+		if rec.Type == TypeCheckpointEnd {
+			return fmt.Errorf("wal: checkpoint manifest in log tail")
+		}
+		if rec.Seq != s.seq+1 {
+			return fmt.Errorf("wal: replay sequence %d, want %d", rec.Seq, s.seq+1)
+		}
+		if err := s.apply(rec); err != nil {
+			return err
+		}
+		s.seq = rec.Seq
+		s.recovery.Replayed++
+		s.sinceCkpt++
+	}
+	s.recovery.TornBytes = sc.TornBytes()
+
+	// Reclaim pages a dying checkpoint wrote but never published.
+	live := make(map[pager.PageID]bool, len(m.Pages))
+	for _, id := range m.Pages {
+		live[id] = true
+	}
+	onDisk, err := s.pg.DiskPages()
+	if err != nil {
+		return err
+	}
+	for _, id := range onDisk {
+		if !live[id] {
+			if err := s.pg.Free(id); err != nil {
+				return err
+			}
+			s.recovery.PagesFreed++
+		}
+	}
+	return nil
+}
+
+// apply performs one logged operation on the tree.
+func (s *Store) apply(r Record) error {
+	switch r.Type {
+	case TypeInsert:
+		return s.tree.Insert(r.Rec)
+	case TypeDelete:
+		_, err := s.tree.Delete(r.ID, r.OldQI)
+		return err
+	case TypeUpdate:
+		_, err := s.tree.Update(r.ID, r.OldQI, r.Rec)
+		return err
+	}
+	return fmt.Errorf("wal: apply of %v record", r.Type)
+}
+
+// audit is the recovery gate: the independent auditor must re-prove
+// the tree's structural safety, and — once the store holds at least
+// BaseK records, the threshold below which no release exists — the
+// k-anonymity and Lemma-1 k-boundness of the base release. Only then
+// may the store publish.
+func (s *Store) audit() error {
+	if err := verify.Tree(s.tree, verify.TreeOptions{}); err != nil {
+		return fmt.Errorf("wal: recovered tree failed audit: %w", err)
+	}
+	k := s.tree.Config().BaseK
+	if s.tree.Len() >= k {
+		base, err := core.LeafScan(partitionsFromLeaves(s.tree.Leaves()), anonmodel.KAnonymity{K: k})
+		if err != nil {
+			return fmt.Errorf("wal: recovered tree failed audit: %w", err)
+		}
+		if err := verify.Release(base, anonmodel.KAnonymity{K: k}); err != nil {
+			return fmt.Errorf("wal: recovered release failed audit: %w", err)
+		}
+		if err := verify.Releases([][]anonmodel.Partition{base}, k); err != nil {
+			return fmt.Errorf("wal: recovered release failed k-boundness audit: %w", err)
+		}
+	}
+	s.audited = true
+	return nil
+}
+
+// partitionsFromLeaves mirrors core's leaf-to-partition conversion:
+// one born-compacted partition per leaf MBR.
+func partitionsFromLeaves(leaves []rplustree.LeafView) []anonmodel.Partition {
+	out := make([]anonmodel.Partition, len(leaves))
+	for i, l := range leaves {
+		out[i] = anonmodel.Partition{Box: l.MBR.Clone(), Records: l.Records}
+	}
+	return out
+}
+
+// die poisons the store after a crash or unrecoverable append error.
+func (s *Store) die(err error) {
+	if s.dead == nil {
+		s.dead = err
+	}
+}
+
+// log appends one framed record durably; the operation is committed
+// iff this returns nil.
+func (s *Store) log(r Record) error {
+	payload, err := Encode(r)
+	if err != nil {
+		return err
+	}
+	if err := s.w.Append(payload); err != nil {
+		s.die(err)
+		return err
+	}
+	return nil
+}
+
+// Insert logs and applies one insertion. WAL-before-apply: the record
+// is in the tree only if its log frame is durable.
+func (s *Store) Insert(rec attr.Record) error {
+	if s.dead != nil {
+		return s.dead
+	}
+	if err := s.log(Record{Type: TypeInsert, Seq: s.seq + 1, Rec: rec}); err != nil {
+		return err
+	}
+	s.seq++
+	s.sinceCkpt++
+	if err := s.tree.Insert(rec); err != nil {
+		return err
+	}
+	return s.maybeCheckpoint()
+}
+
+// Delete logs and applies one deletion, reporting whether the record
+// existed. A delete of an absent record still logs (write-ahead means
+// logging before knowing); replay tolerates the no-op.
+func (s *Store) Delete(id int64, qi []float64) (bool, error) {
+	if s.dead != nil {
+		return false, s.dead
+	}
+	if err := s.log(Record{Type: TypeDelete, Seq: s.seq + 1, ID: id, OldQI: qi}); err != nil {
+		return false, err
+	}
+	s.seq++
+	s.sinceCkpt++
+	found, err := s.tree.Delete(id, qi)
+	if err != nil {
+		return found, err
+	}
+	return found, s.maybeCheckpoint()
+}
+
+// Update logs and applies one relocation, reporting whether the
+// record existed.
+func (s *Store) Update(id int64, oldQI []float64, rec attr.Record) (bool, error) {
+	if s.dead != nil {
+		return false, s.dead
+	}
+	if err := s.log(Record{Type: TypeUpdate, Seq: s.seq + 1, ID: id, OldQI: oldQI, Rec: rec}); err != nil {
+		return false, err
+	}
+	s.seq++
+	s.sinceCkpt++
+	found, err := s.tree.Update(id, oldQI, rec)
+	if err != nil {
+		return found, err
+	}
+	return found, s.maybeCheckpoint()
+}
+
+// maybeCheckpoint runs an automatic checkpoint when the configured
+// operation budget since the last one is spent.
+func (s *Store) maybeCheckpoint() error {
+	if s.opts.CheckpointEvery <= 0 || s.sinceCkpt < s.opts.CheckpointEvery {
+		return nil
+	}
+	return s.Checkpoint()
+}
+
+// Checkpoint serializes the tree into pager pages and truncates the
+// log: the new log file holds only the manifest, atomically renamed
+// into place. On any error — including an injected crash — the store
+// is poisoned, and recovery falls back to the previous checkpoint
+// plus the old log, which is intact until the rename.
+func (s *Store) Checkpoint() error {
+	if s.dead != nil {
+		return s.dead
+	}
+	if err := s.writeCheckpoint(); err != nil {
+		s.die(err)
+		return err
+	}
+	return nil
+}
+
+// writeCheckpoint is the checkpoint protocol. It is also the store
+// bootstrap: with no writer yet (Create), steps touching the old log
+// are skipped.
+func (s *Store) writeCheckpoint() error {
+	// Announce intent in the old log. Replay ignores the marker; its
+	// append exercises the durability path so crash schedules can land
+	// mid-checkpoint.
+	if s.w != nil {
+		if err := s.log(Record{Type: TypeCheckpointBegin, Seq: s.seq}); err != nil {
+			return err
+		}
+	}
+	snap, err := s.tree.EncodeSnapshot()
+	if err != nil {
+		return err
+	}
+
+	// Chop the snapshot into sealed pager pages.
+	pageSize := s.opts.PageSize
+	var pages []pager.PageID
+	for off := 0; off < len(snap) || (off == 0 && len(snap) == 0); off += pageSize {
+		id, data, err := s.pg.Alloc()
+		if err != nil {
+			return err
+		}
+		end := off + pageSize
+		if end > len(snap) {
+			end = len(snap)
+		}
+		if off <= end {
+			copy(data, snap[off:end])
+		}
+		if err := s.pg.Unpin(id); err != nil {
+			return err
+		}
+		pages = append(pages, id)
+		if len(snap) == 0 {
+			break
+		}
+	}
+	if err := s.pg.Flush(); err != nil {
+		return err
+	}
+	if !s.opts.NoSync {
+		if err := s.pg.Sync(); err != nil {
+			return err
+		}
+	}
+
+	// Publish: manifest-only log written aside, then atomically renamed
+	// over the live log.
+	m := &Manifest{Seq: s.seq, SnapLen: uint32(len(snap)), SnapCRC: Checksum(snap), Pages: pages}
+	payload, err := Encode(Record{Type: TypeCheckpointEnd, Seq: s.seq, Manifest: m})
+	if err != nil {
+		return err
+	}
+	tmpPath := filepath.Join(s.opts.Dir, tmpName)
+	logPath := filepath.Join(s.opts.Dir, logName)
+	os.Remove(tmpPath)
+	w2, err := openWriter(tmpPath, s.opts.Crash, s.opts.NoSync, s.opts.Retry)
+	if err != nil {
+		return err
+	}
+	if err := w2.Append(payload); err != nil {
+		w2.Close()
+		return err
+	}
+	if err := os.Rename(tmpPath, logPath); err != nil {
+		w2.Close()
+		return err
+	}
+	if !s.opts.NoSync {
+		if err := syncDir(s.opts.Dir); err != nil {
+			w2.Close()
+			return err
+		}
+	}
+	if s.w != nil {
+		s.w.Close()
+	}
+	s.w = w2
+
+	// The old snapshot's pages are garbage now; reclaim them. A crash
+	// here leaks them at worst — the next Open sweeps unreferenced
+	// pages.
+	for _, id := range s.snapPages {
+		if err := s.pg.Free(id); err != nil {
+			return err
+		}
+	}
+	s.snapPages = pages
+	s.sinceCkpt = 0
+	return nil
+}
+
+// syncDir fsyncs a directory so a rename inside it is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// Release materializes the anonymized view at granularity k1 (0 =
+// base k) via the leaf scan — but only from an audited state: a store
+// whose recovery audit did not pass never gets here, and a poisoned
+// (crashed) store refuses too.
+func (s *Store) Release(k1 int) ([]anonmodel.Partition, error) {
+	if s.dead != nil {
+		return nil, s.dead
+	}
+	if !s.audited {
+		return nil, fmt.Errorf("wal: release from unaudited store")
+	}
+	k := s.tree.Config().BaseK
+	base, err := core.LeafScan(partitionsFromLeaves(s.tree.Leaves()), anonmodel.KAnonymity{K: k})
+	if err != nil {
+		return nil, err
+	}
+	if k1 == 0 || k1 == k {
+		return base, nil
+	}
+	if k1 < k {
+		return nil, fmt.Errorf("wal: granularity %d below base k %d", k1, k)
+	}
+	return core.LeafScan(base, anonmodel.KAnonymity{K: k1})
+}
+
+// Tree exposes the underlying index (read-mostly).
+func (s *Store) Tree() *rplustree.Tree { return s.tree }
+
+// Len returns the number of live records.
+func (s *Store) Len() int { return s.tree.Len() }
+
+// Seq returns the committed operation count (checkpoint-folded plus
+// replayed plus logged since).
+func (s *Store) Seq() uint64 { return s.seq }
+
+// RecoveryStats returns what the last Open cost; zero value after
+// Create.
+func (s *Store) RecoveryStats() RecoveryStats { return s.recovery }
+
+// Err returns the poisoning error if the store has died, else nil.
+func (s *Store) Err() error { return s.dead }
+
+// Close releases the log writer and pager. A dead store closes too —
+// that is the "process exit" after a simulated crash.
+func (s *Store) Close() error {
+	var werr, perr error
+	if s.w != nil {
+		werr = s.w.Close()
+		s.w = nil
+	}
+	if s.pg != nil {
+		// A crashed store must not flush its pool on the way out: the
+		// crash already decided what reached disk.
+		if s.dead != nil {
+			perr = s.pg.CloseNoFlush()
+		} else {
+			perr = s.pg.Close()
+		}
+		s.pg = nil
+	}
+	if werr != nil {
+		return werr
+	}
+	return perr
+}

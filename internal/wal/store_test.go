@@ -1,0 +1,348 @@
+package wal
+
+import (
+	"fmt"
+	"testing"
+
+	"spatialanon/internal/anonmodel"
+	"spatialanon/internal/attr"
+	"spatialanon/internal/dataset"
+	"spatialanon/internal/detrng"
+	"spatialanon/internal/fault"
+	"spatialanon/internal/rplustree"
+	"spatialanon/internal/verify"
+)
+
+func testOpts(t *testing.T, k int) Options {
+	t.Helper()
+	return Options{
+		Dir:    t.TempDir(),
+		Tree:   rplustree.Config{Schema: dataset.LandsEndSchema(), BaseK: k},
+		NoSync: true,
+	}
+}
+
+func makeRecords(schema *attr.Schema, n int, seed int64) []attr.Record {
+	rng := detrng.New(seed)
+	dims := schema.Dims()
+	recs := make([]attr.Record, n)
+	for i := range recs {
+		qi := make([]float64, dims)
+		for d := range qi {
+			qi[d] = rng.Float64() * 100
+		}
+		recs[i] = attr.Record{ID: int64(i + 1), QI: qi, Sensitive: fmt.Sprintf("s%d", i)}
+	}
+	return recs
+}
+
+func storeRecords(s *Store) map[int64]attr.Record {
+	out := make(map[int64]attr.Record)
+	for _, l := range s.Tree().Leaves() {
+		for _, r := range l.Records {
+			out[r.ID] = r
+		}
+	}
+	return out
+}
+
+func sameRecords(a, b map[int64]attr.Record) error {
+	if len(a) != len(b) {
+		return fmt.Errorf("%d records vs %d", len(a), len(b))
+	}
+	for id, ra := range a {
+		rb, ok := b[id]
+		if !ok {
+			return fmt.Errorf("record %d missing", id)
+		}
+		if ra.Sensitive != rb.Sensitive || len(ra.QI) != len(rb.QI) {
+			return fmt.Errorf("record %d differs", id)
+		}
+		for d := range ra.QI {
+			if ra.QI[d] != rb.QI[d] {
+				return fmt.Errorf("record %d QI[%d] differs", id, d)
+			}
+		}
+	}
+	return nil
+}
+
+func TestStoreCreateReopen(t *testing.T) {
+	opts := testOpts(t, 4)
+	s, err := Create(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := makeRecords(opts.Tree.Schema, 120, 1)
+	for _, r := range recs {
+		if err := s.Insert(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if found, err := s.Delete(recs[5].ID, recs[5].QI); err != nil || !found {
+		t.Fatalf("delete: found=%v err=%v", found, err)
+	}
+	moved := recs[6]
+	moved.QI = append([]float64(nil), recs[6].QI...)
+	moved.QI[0] += 17
+	if found, err := s.Update(recs[6].ID, recs[6].QI, moved); err != nil || !found {
+		t.Fatalf("update: found=%v err=%v", found, err)
+	}
+	rel, err := s.Release(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := verify.Release(rel, anonmodel.KAnonymity{K: 4}); err != nil {
+		t.Fatal(err)
+	}
+	before := storeRecords(s)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	st := s2.RecoveryStats()
+	if st.Replayed != 122 {
+		t.Errorf("replayed %d ops, want 122", st.Replayed)
+	}
+	if s2.Seq() != 122 {
+		t.Errorf("seq %d, want 122", s2.Seq())
+	}
+	if err := sameRecords(before, storeRecords(s2)); err != nil {
+		t.Fatalf("reopened store differs: %v", err)
+	}
+	// The reopened store is live.
+	if err := s2.Insert(attr.Record{ID: 9001, QI: recs[0].QI, Sensitive: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.Release(0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStoreCheckpointTruncatesLog(t *testing.T) {
+	opts := testOpts(t, 3)
+	opts.CheckpointEvery = 25
+	s, err := Create(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := makeRecords(opts.Tree.Schema, 103, 2)
+	for _, r := range recs {
+		if err := s.Insert(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := storeRecords(s)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	st := s2.RecoveryStats()
+	// 103 inserts with a checkpoint every 25: the log tail holds only
+	// the 3 operations after the last checkpoint.
+	if st.Replayed != 3 {
+		t.Errorf("replayed %d ops, want 3", st.Replayed)
+	}
+	if st.CheckpointSeq != 100 {
+		t.Errorf("checkpoint folds %d ops, want 100", st.CheckpointSeq)
+	}
+	if st.SnapshotPages == 0 || st.SnapshotBytes == 0 || st.PagerReads == 0 {
+		t.Errorf("recovery read no snapshot: %+v", st)
+	}
+	if s2.Seq() != 103 {
+		t.Errorf("seq %d, want 103", s2.Seq())
+	}
+	if err := sameRecords(before, storeRecords(s2)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStoreExplicitCheckpointAndPageReuse(t *testing.T) {
+	opts := testOpts(t, 3)
+	s, err := Create(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	recs := makeRecords(opts.Tree.Schema, 40, 3)
+	for _, r := range recs {
+		if err := s.Insert(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if err := s.Checkpoint(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Old snapshot pages are freed at each checkpoint, so the disk
+	// holds only the live snapshot.
+	onDisk, err := s.pg.DiskPages()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(onDisk) != len(s.snapPages) {
+		t.Errorf("disk holds %d pages, live snapshot uses %d", len(onDisk), len(s.snapPages))
+	}
+}
+
+func TestStoreDeleteAbsent(t *testing.T) {
+	opts := testOpts(t, 3)
+	s, err := Create(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := makeRecords(opts.Tree.Schema, 20, 4)
+	for _, r := range recs {
+		if err := s.Insert(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if found, err := s.Delete(777, recs[0].QI); err != nil || found {
+		t.Fatalf("absent delete: found=%v err=%v", found, err)
+	}
+	if found, err := s.Update(888, recs[0].QI, recs[0]); err != nil || found {
+		t.Fatalf("absent update: found=%v err=%v", found, err)
+	}
+	before := storeRecords(s)
+	s.Close()
+	// The no-op operations are logged (write-ahead logs before it
+	// knows); replay tolerates them.
+	s2, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Seq() != 22 {
+		t.Errorf("seq %d, want 22", s2.Seq())
+	}
+	if err := sameRecords(before, storeRecords(s2)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStoreReleaseGranularity(t *testing.T) {
+	opts := testOpts(t, 3)
+	s, err := Create(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for _, r := range makeRecords(opts.Tree.Schema, 90, 5) {
+		if err := s.Insert(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := s.Release(2); err == nil {
+		t.Error("granularity below base k accepted")
+	}
+	coarse, err := s.Release(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := verify.Release(coarse, anonmodel.KAnonymity{K: 9}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStoreCreateRefusesExisting(t *testing.T) {
+	opts := testOpts(t, 3)
+	s, err := Create(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	if _, err := Create(opts); err == nil {
+		t.Fatal("second Create on the same directory accepted")
+	}
+}
+
+func TestOpenMissingStore(t *testing.T) {
+	opts := testOpts(t, 3)
+	if _, err := Open(opts); err == nil {
+		t.Fatal("Open of empty directory accepted")
+	}
+}
+
+func TestOpenRejectsDamagedSnapshot(t *testing.T) {
+	opts := testOpts(t, 3)
+	s, err := Create(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range makeRecords(opts.Tree.Schema, 40, 6) {
+		if err := s.Insert(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	// Bit rot inside the checkpoint image: the page checksum catches
+	// it and recovery refuses to build a tree from it.
+	if err := s.pg.FlipBit(s.snapPages[0], 137); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	if _, err := Open(opts); err == nil {
+		t.Fatal("recovery from damaged snapshot accepted")
+	}
+}
+
+func TestStoreDiesOnCrashAndRefusesService(t *testing.T) {
+	opts := testOpts(t, 3)
+	crash := &fault.Crash{At: 20}
+	opts.Crash = crash
+	opts.PagerFault = crash
+	s, err := Create(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := makeRecords(opts.Tree.Schema, 60, 7)
+	var crashed bool
+	for _, r := range recs {
+		if err := s.Insert(r); err != nil {
+			if !IsCrash(err) {
+				t.Fatalf("non-crash failure: %v", err)
+			}
+			crashed = true
+			break
+		}
+	}
+	if !crashed {
+		t.Fatal("crash point never fired")
+	}
+	// The store is poisoned: no further operations, no releases.
+	if err := s.Insert(recs[0]); !IsCrash(err) {
+		t.Fatalf("insert after crash: %v", err)
+	}
+	if _, err := s.Release(0); !IsCrash(err) {
+		t.Fatalf("release after crash: %v", err)
+	}
+	if s.Err() == nil {
+		t.Fatal("Err reports healthy after crash")
+	}
+	s.Close()
+
+	// Recovery without the crash policy converges to an audited state.
+	opts.Crash = nil
+	opts.PagerFault = nil
+	s2, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if _, err := s2.Release(0); err != nil {
+		t.Fatal(err)
+	}
+}

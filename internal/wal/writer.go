@@ -1,0 +1,176 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+
+	"spatialanon/internal/retry"
+)
+
+// frameOverhead is the fixed cost of one frame: length prefix plus
+// checksum trailer.
+const frameOverhead = 8
+
+// maxFrame bounds a frame's payload. Manifests of enormous trees stay
+// far below this; anything above it in a log being scanned is treated
+// as a torn length prefix.
+const maxFrame = 64 << 20
+
+// CrashPolicy lets a fault injector kill the process simulation at a
+// WAL append. It is satisfied by *fault.Crash; the interface is
+// duplicated structurally so the injector package does not import
+// this one. BeforeAppend sees the full frame length and returns how
+// many bytes of it may still reach disk and whether the process dies
+// at this operation.
+type CrashPolicy interface {
+	BeforeAppend(frameLen int) (persist int, crashed bool)
+}
+
+// crashedError mirrors fault.CrashError structurally: recovery-side
+// code matches any error exposing Crashed() bool.
+type crashedError struct{ op string }
+
+func (e *crashedError) Error() string {
+	return fmt.Sprintf("wal: simulated crash during %s", e.op)
+}
+func (e *crashedError) Crashed() bool { return true }
+
+// IsCrash reports whether err is (or wraps) a simulated process
+// death, from this package or from internal/fault: any error in the
+// chain exposing Crashed() bool participates.
+func IsCrash(err error) bool {
+	var c interface{ Crashed() bool }
+	return errors.As(err, &c) && c.Crashed()
+}
+
+// Writer appends framed records to a log file. It is not safe for
+// concurrent use.
+type Writer struct {
+	f      *os.File
+	crash  CrashPolicy
+	noSync bool
+	retry  retry.Policy
+	dead   error
+}
+
+// openWriter opens path for appending. The file's existing contents
+// are assumed valid (callers scan before appending).
+func openWriter(path string, crash CrashPolicy, noSync bool, rp retry.Policy) (*Writer, error) {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &Writer{f: f, crash: crash, noSync: noSync, retry: rp}, nil
+}
+
+// Append frames the payload and appends it durably: length prefix,
+// payload, CRC32-C trailer, then fsync (unless NoSync). Transient
+// faults surfaced by the crash policy do not exist — a crash is
+// permanent — but real-device deployments see transient write errors,
+// so the write itself runs under the package retry policy. After a
+// crash the writer is dead: every later append fails with the same
+// error, exactly like a dead process.
+func (w *Writer) Append(payload []byte) error {
+	if w.dead != nil {
+		return w.dead
+	}
+	if len(payload) > maxFrame {
+		return fmt.Errorf("wal: frame payload of %d bytes exceeds limit %d", len(payload), maxFrame)
+	}
+	frame := make([]byte, 0, len(payload)+frameOverhead)
+	frame = binary.LittleEndian.AppendUint32(frame, uint32(len(payload)))
+	frame = append(frame, payload...)
+	frame = binary.LittleEndian.AppendUint32(frame, Checksum(payload))
+
+	persist := len(frame)
+	crashed := false
+	if w.crash != nil {
+		persist, crashed = w.crash.BeforeAppend(len(frame))
+		if persist > len(frame) {
+			persist = len(frame)
+		}
+	}
+	if persist > 0 {
+		err := w.retry.Do(func() error {
+			_, werr := w.f.Write(frame[:persist])
+			return werr
+		})
+		if err != nil {
+			return fmt.Errorf("wal: append: %w", err)
+		}
+	}
+	if crashed {
+		// The torn prefix (if any) is already in the file, exactly as a
+		// power cut would leave it.
+		w.dead = &crashedError{op: "append"}
+		return w.dead
+	}
+	return w.sync()
+}
+
+// sync flushes the file unless the writer runs unsynced.
+func (w *Writer) sync() error {
+	if w.noSync {
+		return nil
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("wal: sync: %w", err)
+	}
+	return nil
+}
+
+// Close closes the log file.
+func (w *Writer) Close() error { return w.f.Close() }
+
+// Scanner walks the committed prefix of a log image. The first frame
+// that is incomplete or fails its checksum ends the scan; Torn
+// reports whether such a tail was present (torn tails are normal
+// after a crash — they are "not committed", not corruption).
+type Scanner struct {
+	data []byte
+	off  int
+	torn bool
+}
+
+// NewScanner scans a fully-read log image.
+func NewScanner(data []byte) *Scanner { return &Scanner{data: data} }
+
+// Next returns the next committed frame payload, or false at the end
+// of the committed prefix. The returned slice aliases the log image.
+func (s *Scanner) Next() ([]byte, bool) {
+	if s.torn || s.off >= len(s.data) {
+		return nil, false
+	}
+	if s.off+4 > len(s.data) {
+		s.torn = true
+		return nil, false
+	}
+	n := int(binary.LittleEndian.Uint32(s.data[s.off:]))
+	if n > maxFrame || s.off+4+n+4 > len(s.data) {
+		s.torn = true
+		return nil, false
+	}
+	payload := s.data[s.off+4 : s.off+4+n]
+	sum := binary.LittleEndian.Uint32(s.data[s.off+4+n:])
+	if Checksum(payload) != sum {
+		s.torn = true
+		return nil, false
+	}
+	s.off += 4 + n + 4
+	return payload, true
+}
+
+// Torn reports whether the scan ended at an incomplete or
+// checksum-failing frame rather than at a clean end of file.
+func (s *Scanner) Torn() bool { return s.torn }
+
+// TornBytes returns how many bytes of uncommitted tail follow the
+// committed prefix.
+func (s *Scanner) TornBytes() int {
+	if !s.torn {
+		return 0
+	}
+	return len(s.data) - s.off
+}
