@@ -2,6 +2,7 @@ package wal
 
 import (
 	"fmt"
+	"math"
 	"os"
 	"path/filepath"
 
@@ -352,6 +353,39 @@ func (s *Store) die(err error) {
 	}
 }
 
+// validateQI rejects at ingress anything the recovery path would
+// refuse later: wrong dimensionality (tree ops error on it during
+// replay) and non-finite coordinates (DecodeSnapshot refuses NaN, so
+// one such record folded into a checkpoint would make every subsequent
+// Open fail with no self-healing). Write-ahead logging means a record
+// is durable before it is applied — so nothing may reach the WAL that
+// apply, checkpoint, or recovery could reject.
+func (s *Store) validateQI(qi []float64) error {
+	if dims := s.tree.Config().Schema.Dims(); len(qi) != dims {
+		return fmt.Errorf("wal: record has %d attributes, store schema has %d", len(qi), dims)
+	}
+	for i, v := range qi {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("wal: record coordinate %d is not finite (%v)", i, v)
+		}
+	}
+	return nil
+}
+
+// applyLive performs a committed operation on the live tree. The log
+// already says the operation happened, so a failure here is
+// log/tree divergence: later checkpoints and reads would be built on
+// state the durable log contradicts. That cannot be repaired in
+// place, so the store is poisoned. Ingress validation makes this
+// unreachable for well-formed stores; it is the backstop.
+func (s *Store) applyLive(op func() error) error {
+	if err := op(); err != nil {
+		s.die(fmt.Errorf("wal: tree diverged from committed log: %w", err))
+		return s.dead
+	}
+	return nil
+}
+
 // log appends one framed record durably; the operation is committed
 // iff this returns nil.
 func (s *Store) log(r Record) error {
@@ -372,12 +406,15 @@ func (s *Store) Insert(rec attr.Record) error {
 	if s.dead != nil {
 		return s.dead
 	}
+	if err := s.validateQI(rec.QI); err != nil {
+		return err
+	}
 	if err := s.log(Record{Type: TypeInsert, Seq: s.seq + 1, Rec: rec}); err != nil {
 		return err
 	}
 	s.seq++
 	s.sinceCkpt++
-	if err := s.tree.Insert(rec); err != nil {
+	if err := s.applyLive(func() error { return s.tree.Insert(rec) }); err != nil {
 		return err
 	}
 	return s.maybeCheckpoint()
@@ -390,13 +427,20 @@ func (s *Store) Delete(id int64, qi []float64) (bool, error) {
 	if s.dead != nil {
 		return false, s.dead
 	}
+	if err := s.validateQI(qi); err != nil {
+		return false, err
+	}
 	if err := s.log(Record{Type: TypeDelete, Seq: s.seq + 1, ID: id, OldQI: qi}); err != nil {
 		return false, err
 	}
 	s.seq++
 	s.sinceCkpt++
-	found, err := s.tree.Delete(id, qi)
-	if err != nil {
+	var found bool
+	if err := s.applyLive(func() error {
+		var err error
+		found, err = s.tree.Delete(id, qi)
+		return err
+	}); err != nil {
 		return found, err
 	}
 	return found, s.maybeCheckpoint()
@@ -408,13 +452,23 @@ func (s *Store) Update(id int64, oldQI []float64, rec attr.Record) (bool, error)
 	if s.dead != nil {
 		return false, s.dead
 	}
+	if err := s.validateQI(oldQI); err != nil {
+		return false, err
+	}
+	if err := s.validateQI(rec.QI); err != nil {
+		return false, err
+	}
 	if err := s.log(Record{Type: TypeUpdate, Seq: s.seq + 1, ID: id, OldQI: oldQI, Rec: rec}); err != nil {
 		return false, err
 	}
 	s.seq++
 	s.sinceCkpt++
-	found, err := s.tree.Update(id, oldQI, rec)
-	if err != nil {
+	var found bool
+	if err := s.applyLive(func() error {
+		var err error
+		found, err = s.tree.Update(id, oldQI, rec)
+		return err
+	}); err != nil {
 		return found, err
 	}
 	return found, s.maybeCheckpoint()

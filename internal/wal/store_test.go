@@ -2,6 +2,7 @@ package wal
 
 import (
 	"fmt"
+	"math"
 	"testing"
 
 	"spatialanon/internal/anonmodel"
@@ -343,6 +344,105 @@ func TestStoreDiesOnCrashAndRefusesService(t *testing.T) {
 	}
 	defer s2.Close()
 	if _, err := s2.Release(0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStoreIngressValidation: nothing the recovery path refuses may
+// ever be committed to the WAL. A wrong-dimensionality record would
+// fail tree ops on replay; a NaN coordinate would be folded into the
+// next checkpoint, which DecodeSnapshot rejects — making every later
+// Open fail permanently. Both must be rejected before the log append,
+// leaving the store alive and the log replayable.
+func TestStoreIngressValidation(t *testing.T) {
+	opts := testOpts(t, 3)
+	opts.CheckpointEvery = 4
+	s, err := Create(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := makeRecords(opts.Tree.Schema, 12, 11)
+	for _, r := range recs {
+		if err := s.Insert(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seq := s.Seq()
+
+	dims := opts.Tree.Schema.Dims()
+	badQI := func(mut func(qi []float64)) []float64 {
+		qi := append([]float64(nil), recs[0].QI...)
+		mut(qi)
+		return qi
+	}
+	rejected := []struct {
+		name string
+		op   func() error
+	}{
+		{"insert short", func() error {
+			return s.Insert(attr.Record{ID: 900, QI: make([]float64, dims-1)})
+		}},
+		{"insert long", func() error {
+			return s.Insert(attr.Record{ID: 901, QI: make([]float64, dims+1)})
+		}},
+		{"insert NaN", func() error {
+			return s.Insert(attr.Record{ID: 902, QI: badQI(func(qi []float64) { qi[0] = math.NaN() })})
+		}},
+		{"insert Inf", func() error {
+			return s.Insert(attr.Record{ID: 903, QI: badQI(func(qi []float64) { qi[dims-1] = math.Inf(1) })})
+		}},
+		{"delete short", func() error {
+			_, err := s.Delete(recs[1].ID, make([]float64, dims-1))
+			return err
+		}},
+		{"delete NaN", func() error {
+			_, err := s.Delete(recs[1].ID, badQI(func(qi []float64) { qi[0] = math.NaN() }))
+			return err
+		}},
+		{"update bad old", func() error {
+			_, err := s.Update(recs[2].ID, make([]float64, dims+1), recs[2])
+			return err
+		}},
+		{"update NaN new", func() error {
+			bad := recs[2].Clone()
+			bad.QI[0] = math.NaN()
+			_, err := s.Update(recs[2].ID, recs[2].QI, bad)
+			return err
+		}},
+	}
+	for _, tc := range rejected {
+		if err := tc.op(); err == nil {
+			t.Fatalf("%s: accepted", tc.name)
+		}
+	}
+	if s.Err() != nil {
+		t.Fatalf("store poisoned by rejected input: %v", s.Err())
+	}
+	if s.Seq() != seq {
+		t.Fatalf("rejected operations reached the log: seq %d, want %d", s.Seq(), seq)
+	}
+
+	// The store still serves, checkpoints, and — crucially — reopens:
+	// no unrecoverable record ever hit the WAL or a checkpoint.
+	if err := s.Insert(attr.Record{ID: 904, QI: recs[0].Clone().QI, Sensitive: "ok"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	want := storeRecords(s)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(opts)
+	if err != nil {
+		t.Fatalf("reopen after rejected inputs: %v", err)
+	}
+	defer s2.Close()
+	if err := sameRecords(want, storeRecords(s2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := verify.Tree(s2.Tree(), verify.TreeOptions{}); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -45,10 +45,20 @@ func IsCrash(err error) bool {
 	return errors.As(err, &c) && c.Crashed()
 }
 
+// logFile is the slice of *os.File the writer uses; tests substitute a
+// fault-injecting implementation to exercise the retry path.
+type logFile interface {
+	Write(p []byte) (int, error)
+	Truncate(size int64) error
+	Sync() error
+	Close() error
+}
+
 // Writer appends framed records to a log file. It is not safe for
 // concurrent use.
 type Writer struct {
-	f      *os.File
+	f      logFile
+	size   int64 // bytes of committed frames; a retry truncates back here
 	crash  CrashPolicy
 	noSync bool
 	retry  retry.Policy
@@ -62,7 +72,12 @@ func openWriter(path string, crash CrashPolicy, noSync bool, rp retry.Policy) (*
 	if err != nil {
 		return nil, err
 	}
-	return &Writer{f: f, crash: crash, noSync: noSync, retry: rp}, nil
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &Writer{f: f, size: st.Size(), crash: crash, noSync: noSync, retry: rp}, nil
 }
 
 // Append frames the payload and appends it durably: length prefix,
@@ -93,7 +108,20 @@ func (w *Writer) Append(payload []byte) error {
 		}
 	}
 	if persist > 0 {
+		attempt := 0
 		err := w.retry.Do(func() error {
+			attempt++
+			if attempt > 1 {
+				// A failed attempt may have torn bytes into the
+				// O_APPEND log; appending the retry after them would
+				// bury this frame — and every later one — behind
+				// garbage the scanner stops at, losing acknowledged
+				// writes on recovery. Rewind to the committed size so
+				// the retry overwrites the torn prefix instead.
+				if terr := w.f.Truncate(w.size); terr != nil {
+					return terr
+				}
+			}
 			_, werr := w.f.Write(frame[:persist])
 			return werr
 		})
@@ -107,6 +135,7 @@ func (w *Writer) Append(payload []byte) error {
 		w.dead = &crashedError{op: "append"}
 		return w.dead
 	}
+	w.size += int64(persist)
 	return w.sync()
 }
 
@@ -147,8 +176,16 @@ func (s *Scanner) Next() ([]byte, bool) {
 		s.torn = true
 		return nil, false
 	}
-	n := int(binary.LittleEndian.Uint32(s.data[s.off:]))
-	if n > maxFrame || s.off+4+n+4 > len(s.data) {
+	// Compare the length prefix in uint64 before converting: on 32-bit
+	// platforms a corrupt prefix above MaxInt32 would wrap negative as
+	// int, slip past the bound checks, and panic the slice expression.
+	n64 := uint64(binary.LittleEndian.Uint32(s.data[s.off:]))
+	if n64 > maxFrame {
+		s.torn = true
+		return nil, false
+	}
+	n := int(n64)
+	if n > len(s.data)-s.off-frameOverhead {
 		s.torn = true
 		return nil, false
 	}

@@ -1,6 +1,7 @@
 package wal
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
 	"testing"
@@ -194,6 +195,82 @@ func TestWriterCrashTearsFrame(t *testing.T) {
 	}
 	if n != 2 || !sc.Torn() || sc.TornBytes() != frame/2 {
 		t.Fatalf("scan: frames=%d torn=%v tornBytes=%d", n, sc.Torn(), sc.TornBytes())
+	}
+}
+
+// flakyLog is a logFile whose next failAttempts writes fail
+// transiently after persisting only half their bytes — the torn
+// partial write an O_APPEND retry must not land after.
+type flakyLog struct {
+	buf          []byte
+	failAttempts int
+}
+
+func (f *flakyLog) Write(p []byte) (int, error) {
+	if f.failAttempts > 0 {
+		f.failAttempts--
+		n := len(p) / 2
+		f.buf = append(f.buf, p[:n]...)
+		return n, &fault.Error{Op: "write", Kind: fault.Transient}
+	}
+	f.buf = append(f.buf, p...)
+	return len(p), nil
+}
+
+func (f *flakyLog) Truncate(size int64) error {
+	if size < 0 || size > int64(len(f.buf)) {
+		return fmt.Errorf("truncate to %d, have %d", size, len(f.buf))
+	}
+	f.buf = f.buf[:size]
+	return nil
+}
+
+func (f *flakyLog) Sync() error  { return nil }
+func (f *flakyLog) Close() error { return nil }
+
+// TestAppendRetryRewindsTornPartialWrite: a transient write failure
+// leaves half a frame in the log; the retry must truncate that garbage
+// away before writing again, or the committed frame (and everything
+// after it) hides behind bytes the scanner refuses and recovery
+// silently drops acknowledged writes.
+func TestAppendRetryRewindsTornPartialWrite(t *testing.T) {
+	fl := &flakyLog{failAttempts: 1}
+	w := &Writer{f: fl, noSync: true, retry: retry.Policy{Attempts: 3}}
+	if err := w.Append([]byte("first")); err != nil {
+		t.Fatalf("append with retries: %v", err)
+	}
+	fl.failAttempts = 1
+	if err := w.Append([]byte("second-longer-payload")); err != nil {
+		t.Fatalf("second append with retries: %v", err)
+	}
+	sc := NewScanner(fl.buf)
+	var got []string
+	for {
+		p, ok := sc.Next()
+		if !ok {
+			break
+		}
+		got = append(got, string(p))
+	}
+	if sc.Torn() {
+		t.Fatalf("log torn after successful appends: % x", fl.buf)
+	}
+	if len(got) != 2 || got[0] != "first" || got[1] != "second-longer-payload" {
+		t.Fatalf("scanned %q, want both committed frames", got)
+	}
+}
+
+// TestScannerHugeLengthPrefix: a corrupt length prefix above MaxInt32
+// must end the scan as a torn tail, not overflow int on 32-bit
+// platforms and panic the slice expression.
+func TestScannerHugeLengthPrefix(t *testing.T) {
+	img := []byte{0xff, 0xff, 0xff, 0xff, 1, 2, 3, 4, 5, 6, 7, 8}
+	sc := NewScanner(img)
+	if _, ok := sc.Next(); ok {
+		t.Fatal("frame accepted under a huge length prefix")
+	}
+	if !sc.Torn() {
+		t.Fatal("huge length prefix not flagged torn")
 	}
 }
 
