@@ -6,7 +6,7 @@ GO ?= go
 # writes a new baseline without editing the Makefile.
 BENCH ?= BENCH_BASELINE.json
 
-.PHONY: all build test vet lint race chaos crash fuzz bench cover experiments examples clean
+.PHONY: all build test vet lint race chaos crash throughput fuzz bench cover experiments examples clean
 
 all: vet test
 
@@ -26,12 +26,13 @@ lint:
 
 # `make test` always vets first: the robustness layer threads errors
 # through many call sites and vet's unused-result checks are cheap
-# insurance. The packages carrying the parallel execution layer rerun
-# under the race detector on every test invocation — races there are
+# insurance. The packages carrying the parallel execution layer — and
+# the concurrent serving layer over the durable store — rerun under
+# the race detector on every test invocation: races there are
 # correctness bugs in the determinism guarantee, not perf noise.
 test: vet
 	$(GO) test ./...
-	$(GO) test -race ./internal/par ./internal/rplustree ./internal/mondrian ./internal/core
+	$(GO) test -race ./internal/par ./internal/rplustree ./internal/mondrian ./internal/core ./internal/serve ./internal/wal
 
 # Full suite under the race detector.
 race:
@@ -44,9 +45,17 @@ chaos:
 # The WAL crash matrix: a churn workload crashed at every durable
 # operation (each log append and checkpoint page write, with torn
 # final frames) across a seed matrix, asserting recovery always
-# converges to an audited, k-safe state (internal/wal).
+# converges to an audited, k-safe state (internal/wal). Covers both
+# the per-op matrix and the group-commit matrix (torn multi-record
+# batch frames must be all-or-nothing).
 crash:
 	$(GO) test ./internal/wal/ -run 'TestCrashMatrix' -v
+
+# Quick serving-layer throughput smoke: the group-commit benchmark
+# against the per-op baseline at a short benchtime — catches gross
+# throughput regressions without a full bench sweep.
+throughput:
+	$(GO) test -run NONE -bench 'StorePerOpInsert|ServeGroupCommit|ServeReadsDuringWrites' -benchtime 100ms ./internal/serve/
 
 # Short fuzz passes over the dataset codecs and the WAL record decoder.
 fuzz:

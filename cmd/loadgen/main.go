@@ -1,0 +1,326 @@
+// Command loadgen is a closed-loop load driver for the concurrent
+// serving layer (internal/serve): a fixed number of writer and reader
+// goroutines issue operations back-to-back against one durable store
+// for a fixed operation budget, and the tool reports per-class
+// throughput (ops/sec) and latency quantiles (p50/p99).
+//
+// Closed-loop means each goroutine waits for its operation to finish
+// before issuing the next, so offered load adapts to service time —
+// the natural regime for measuring group commit, whose batches form
+// from whoever is blocked at the same instant.
+//
+// Usage:
+//
+//	loadgen -n 20000 -ops 5000 -writers 8 -readers 4
+//	loadgen -dir ./store -nosync=false -writers 16 -batch 64
+//	loadgen -dataset patients -readers 8 -k1 25
+//
+// The store is created in -dir (a temporary directory by default),
+// preloaded with -n records in one bulk batch, then churned: writers
+// interleave inserts, relocations and deletes of their own key
+// stripes; readers loop snapshot releases at granularity -k1 and
+// range counts against the current view. Durability is real unless
+// -nosync is set: every group commit is an fsync.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"spatialanon/internal/attr"
+	"spatialanon/internal/dataset"
+	"spatialanon/internal/rplustree"
+	"spatialanon/internal/serve"
+	"spatialanon/internal/wal"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+type config struct {
+	dir     string
+	dataset string
+	n       int
+	ops     int
+	writers int
+	readers int
+	batch   int
+	k       int
+	k1      int
+	seed    int64
+	nosync  bool
+}
+
+func parseFlags(args []string) (config, error) {
+	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
+	var c config
+	fs.StringVar(&c.dir, "dir", "", "store directory (default: a fresh temp dir, removed on exit)")
+	fs.StringVar(&c.dataset, "dataset", "landsend", "dataset schema: landsend or patients")
+	fs.IntVar(&c.n, "n", 20000, "records preloaded before the measured run")
+	fs.IntVar(&c.ops, "ops", 4000, "total mutations the writers share")
+	fs.IntVar(&c.writers, "writers", 8, "writer goroutines (0 = read-only run)")
+	fs.IntVar(&c.readers, "readers", 4, "reader goroutines (0 = write-only run)")
+	fs.IntVar(&c.batch, "batch", 64, "group-commit batch cap (serve.Options.MaxBatch)")
+	fs.IntVar(&c.k, "k", 10, "base anonymity parameter of the store")
+	fs.IntVar(&c.k1, "k1", 0, "release granularity readers ask for (0 = base k)")
+	fs.Int64Var(&c.seed, "seed", 42, "data generator seed")
+	fs.BoolVar(&c.nosync, "nosync", false, "skip fsync on commit (throughput ceiling, no durability)")
+	if err := fs.Parse(args); err != nil {
+		return c, err
+	}
+	if c.writers < 0 || c.readers < 0 || c.writers+c.readers == 0 {
+		return c, fmt.Errorf("need at least one writer or reader")
+	}
+	if c.n < c.k {
+		return c, fmt.Errorf("preload %d below base k %d: no release exists", c.n, c.k)
+	}
+	if c.ops > 0 && c.writers == 0 {
+		c.ops = 0
+	}
+	return c, nil
+}
+
+func schemaFor(name string) (*attr.Schema, func(n int, seed int64) []attr.Record, error) {
+	switch name {
+	case "landsend":
+		return dataset.LandsEndSchema(), dataset.GenerateLandsEnd, nil
+	case "patients":
+		return dataset.PatientsSchema(), dataset.GeneratePatients, nil
+	}
+	return nil, nil, fmt.Errorf("unknown dataset %q", name)
+}
+
+// quantile returns the q-quantile of the sorted latency sample.
+func quantile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+type classStats struct {
+	ops      int
+	elapsed  time.Duration
+	p50, p99 time.Duration
+}
+
+func summarize(lats [][]time.Duration, elapsed time.Duration) classStats {
+	var all []time.Duration
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	return classStats{
+		ops:     len(all),
+		elapsed: elapsed,
+		p50:     quantile(all, 0.50),
+		p99:     quantile(all, 0.99),
+	}
+}
+
+func (s classStats) String() string {
+	if s.ops == 0 {
+		return "0 ops"
+	}
+	rate := float64(s.ops) / s.elapsed.Seconds()
+	return fmt.Sprintf("%d ops in %v — %.0f ops/sec, p50 %v, p99 %v",
+		s.ops, s.elapsed.Round(time.Millisecond), rate, s.p50.Round(time.Microsecond), s.p99.Round(time.Microsecond))
+}
+
+func run(args []string, out io.Writer) error {
+	c, err := parseFlags(args)
+	if err != nil {
+		return err
+	}
+	schema, generate, err := schemaFor(c.dataset)
+	if err != nil {
+		return err
+	}
+	dir := c.dir
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "loadgen")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(tmp)
+		dir = tmp
+	}
+
+	st, err := wal.Create(wal.Options{
+		Dir:    dir,
+		Tree:   rplustree.Config{Schema: schema, BaseK: c.k},
+		NoSync: c.nosync,
+	})
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+
+	// Preload in one batch: one frame, one fsync.
+	recs := generate(c.n, c.seed)
+	preload := make([]wal.Op, len(recs))
+	for i, r := range recs {
+		preload[i] = wal.Op{Type: wal.TypeInsert, Rec: r}
+	}
+	if _, err := st.ApplyBatch(preload); err != nil {
+		return fmt.Errorf("preload: %w", err)
+	}
+
+	s, err := serve.New(st, serve.Options{MaxBatch: c.batch})
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(out, "loadgen: %s n=%d k=%d writers=%d readers=%d batch=%d ops=%d fsync=%v\n",
+		c.dataset, c.n, c.k, c.writers, c.readers, c.batch, c.ops, !c.nosync)
+
+	// Fresh records the writers will churn, striped per writer so no
+	// two goroutines ever race on one key.
+	churn := generate(c.ops+c.writers, c.seed+1)
+	for i := range churn {
+		churn[i].ID = int64(c.n + i + 1)
+	}
+
+	var (
+		wg         sync.WaitGroup
+		writersWG  sync.WaitGroup
+		writerLats = make([][]time.Duration, c.writers)
+		readerLats = make([][]time.Duration, c.readers)
+		errMu      sync.Mutex
+		firstErr   error
+	)
+	fail := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+	}
+	stopReaders := make(chan struct{})
+	start := time.Now()
+
+	for w := 0; w < c.writers; w++ {
+		w := w
+		wg.Add(1)
+		writersWG.Add(1)
+		go func() {
+			defer wg.Done()
+			defer writersWG.Done()
+			// Writer w owns churn indices w, w+writers, w+2*writers, …
+			// and cycles insert → relocate → delete over its own keys,
+			// so the store's size stays near the preload and every
+			// update and delete hits a live record.
+			lats := make([]time.Duration, 0, c.ops/c.writers+1)
+			var cur attr.Record
+			j := 0
+			for i := w; i < c.ops; i += c.writers {
+				t0 := time.Now()
+				var err error
+				switch j % 3 {
+				case 0:
+					cur = churn[i]
+					err = s.Insert(cur)
+				case 1:
+					moved := attr.Record{ID: cur.ID, QI: append([]float64(nil), cur.QI...), Sensitive: cur.Sensitive}
+					moved.QI[0]++
+					_, err = s.Update(cur.ID, cur.QI, moved)
+					cur = moved
+				case 2:
+					_, err = s.Delete(cur.ID, cur.QI)
+				}
+				lats = append(lats, time.Since(t0))
+				if err != nil {
+					fail(fmt.Errorf("writer %d: %w", w, err))
+					return
+				}
+				j++
+			}
+			writerLats[w] = lats
+		}()
+	}
+
+	for r := 0; r < c.readers; r++ {
+		r := r
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var lats []time.Duration
+			q := attr.Box(nil)
+			for {
+				select {
+				case <-stopReaders:
+					readerLats[r] = lats
+					return
+				default:
+				}
+				t0 := time.Now()
+				v := s.View()
+				if _, err := v.Release(c.k1); err != nil {
+					fail(fmt.Errorf("reader %d: %w", r, err))
+					return
+				}
+				if q == nil {
+					// Derive one range query from the view's own base
+					// release so it always intersects live data.
+					base, err := v.Base()
+					if err != nil {
+						fail(err)
+						return
+					}
+					q = base[0].Box.Clone()
+				}
+				if _, err := v.Count(q); err != nil {
+					fail(fmt.Errorf("reader %d count: %w", r, err))
+					return
+				}
+				lats = append(lats, time.Since(t0))
+				// A pure read loop on a write-free run would never end;
+				// bound it by wall clock via the stop channel below.
+			}
+		}()
+	}
+
+	// Writers define the run length; a read-only run gets a fixed
+	// window instead.
+	if c.writers > 0 {
+		writersWG.Wait()
+	} else {
+		time.Sleep(2 * time.Second)
+	}
+	writeElapsed := time.Since(start)
+	close(stopReaders)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	if err := s.Close(); err != nil {
+		return err
+	}
+	if firstErr != nil {
+		return firstErr
+	}
+
+	if c.writers > 0 {
+		ws := summarize(writerLats, writeElapsed)
+		fmt.Fprintf(out, "writes: %s\n", ws)
+		stats := s.Stats()
+		if stats.Batches > 0 {
+			fmt.Fprintf(out, "commits: %d batches, %.1f ops/fsync, max batch %d, epoch %d\n",
+				stats.Batches, float64(stats.Ops)/float64(stats.Batches), stats.MaxBatch, stats.Epoch)
+		}
+	}
+	if c.readers > 0 {
+		rs := summarize(readerLats, elapsed)
+		fmt.Fprintf(out, "reads:  %s\n", rs)
+	}
+	return nil
+}

@@ -1,0 +1,56 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func runOK(t *testing.T, args ...string) string {
+	t.Helper()
+	var out bytes.Buffer
+	if err := run(args, &out); err != nil {
+		t.Fatalf("run(%v): %v\noutput: %s", args, err, out.String())
+	}
+	return out.String()
+}
+
+// TestMixedLoad drives the full closed loop — writers and readers —
+// on a small store with fsync disabled so the test is fast on any
+// filesystem, and checks both report lines appear with sane content.
+func TestMixedLoad(t *testing.T) {
+	out := runOK(t,
+		"-dir", t.TempDir(), "-n", "600", "-ops", "300",
+		"-writers", "4", "-readers", "2", "-batch", "16", "-k", "5", "-nosync")
+	for _, want := range []string{"writes: 300 ops", "reads:", "ops/sec", "p50", "p99", "commits:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestWriteOnly and TestReadOnlyFlagged pin the degenerate shapes.
+func TestWriteOnly(t *testing.T) {
+	out := runOK(t,
+		"-dir", t.TempDir(), "-n", "200", "-ops", "120",
+		"-writers", "2", "-readers", "0", "-k", "4", "-nosync", "-dataset", "patients")
+	if !strings.Contains(out, "writes: 120 ops") {
+		t.Fatalf("write-only run misreported:\n%s", out)
+	}
+	if strings.Contains(out, "reads:") {
+		t.Fatalf("write-only run reported reads:\n%s", out)
+	}
+}
+
+func TestFlagValidation(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-writers", "0", "-readers", "0"}, &out); err == nil {
+		t.Fatal("zero writers and readers accepted")
+	}
+	if err := run([]string{"-n", "3", "-k", "10", "-nosync"}, &out); err == nil {
+		t.Fatal("preload below k accepted")
+	}
+	if err := run([]string{"-dataset", "nope", "-nosync"}, &out); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+}

@@ -22,6 +22,8 @@ import (
 	"spatialanon/internal/quality"
 	"spatialanon/internal/query"
 	"spatialanon/internal/rplustree"
+	"spatialanon/internal/serve"
+	"spatialanon/internal/wal"
 )
 
 const detRecords = 20000 // above the parallel-path thresholds (parSplitMin, parRouteMin)
@@ -163,6 +165,169 @@ func TestParallelMondrianDeterministic(t *testing.T) {
 			mustEqualPartitions(t, "mondrian", ref, got)
 			mustEqualPartitions(t, "mondrian+compact", refC, compact.PartitionsP(got, w))
 		}
+	}
+}
+
+// servingOps builds a deterministic churn stream: a load of inserts,
+// then interleaved deletes and relocations of a fixed subset. The
+// stream is pure function of the seed, so every chunking of it must
+// drive the store to the identical state.
+func servingOps(n int) []wal.Op {
+	recs := dataset.GenerateLandsEnd(n, benchSeed)
+	ops := make([]wal.Op, 0, n+2*(n/5))
+	for _, r := range recs {
+		ops = append(ops, wal.Op{Type: wal.TypeInsert, Rec: r})
+	}
+	for i := 0; i < n; i += 5 {
+		r := recs[i]
+		if i%2 == 0 {
+			ops = append(ops, wal.Op{Type: wal.TypeDelete, ID: r.ID, OldQI: r.QI})
+		} else {
+			moved := attr.Record{ID: r.ID, QI: append([]float64(nil), r.QI...), Sensitive: r.Sensitive}
+			moved.QI[0] += 1
+			ops = append(ops, wal.Op{Type: wal.TypeUpdate, ID: r.ID, OldQI: r.QI, Rec: moved})
+		}
+	}
+	return ops
+}
+
+// TestServingLayerDeterministic pins the serving layer to the
+// byte-equality contract: the same operation stream, group-committed
+// in any batch chunking and served at any worker count, must publish
+// the identical releases and the identical query answers as the
+// chunk=1, workers=1 reference — and as the durable store's own scan.
+func TestServingLayerDeterministic(t *testing.T) {
+	const nRecs = 4000
+	ops := servingOps(nRecs)
+	queries := query.FullRangeWorkload(dataset.GenerateLandsEnd(nRecs, benchSeed), 50, benchSeed)
+
+	type outputs struct {
+		base, coarse []anonmodel.Partition
+		res          []query.Result
+	}
+	build := func(chunk, workers int) outputs {
+		st, err := wal.Create(wal.Options{
+			Dir:    t.TempDir(),
+			Tree:   rplustree.Config{Schema: dataset.LandsEndSchema(), BaseK: 5, Parallelism: workers},
+			NoSync: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer st.Close()
+		for off := 0; off < len(ops); off += chunk {
+			end := off + chunk
+			if end > len(ops) {
+				end = len(ops)
+			}
+			if _, err := st.ApplyBatch(ops[off:end]); err != nil {
+				t.Fatalf("chunk=%d off=%d: %v", chunk, off, err)
+			}
+		}
+		s, err := serve.New(st, serve.Options{Parallelism: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		v := s.View()
+		base, err := v.Release(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		coarse, err := v.Release(25)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := v.Evaluate(queries)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The serving layer's base release must equal the durable
+		// store's own scan of the same state.
+		direct, err := st.Release(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mustEqualPartitions(t, "serve vs store release", direct, base)
+		return outputs{base: base, coarse: coarse, res: res}
+	}
+
+	ref := build(1, 1)
+	for _, chunk := range []int{7, 64} {
+		for _, w := range detWorkerCounts {
+			got := build(chunk, w)
+			mustEqualPartitions(t, "serve base", ref.base, got.base)
+			mustEqualPartitions(t, "serve k=25", ref.coarse, got.coarse)
+			for i := range ref.res {
+				if got.res[i].Original != ref.res[i].Original || got.res[i].Anonymized != ref.res[i].Anonymized || got.res[i].Err != ref.res[i].Err {
+					t.Fatalf("chunk=%d workers=%d: query %d result %+v, want %+v", chunk, w, i, got.res[i], ref.res[i])
+				}
+			}
+		}
+	}
+}
+
+// TestServerPathDeterministic drives the same stream through the
+// group-commit front end itself (sequential submits, so batches and
+// epochs are reproducible) and checks the served release equals the
+// ApplyBatch reference.
+func TestServerPathDeterministic(t *testing.T) {
+	const nRecs = 2000
+	ops := servingOps(nRecs)
+
+	runServer := func(maxBatch int) []anonmodel.Partition {
+		st, err := wal.Create(wal.Options{
+			Dir:    t.TempDir(),
+			Tree:   rplustree.Config{Schema: dataset.LandsEndSchema(), BaseK: 5},
+			NoSync: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer st.Close()
+		s, err := serve.New(st, serve.Options{MaxBatch: maxBatch})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		for _, op := range ops {
+			switch op.Type {
+			case wal.TypeInsert:
+				err = s.Insert(op.Rec)
+			case wal.TypeDelete:
+				_, err = s.Delete(op.ID, op.OldQI)
+			case wal.TypeUpdate:
+				_, err = s.Update(op.ID, op.OldQI, op.Rec)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		ps, err := s.Release(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ps
+	}
+
+	refStore, err := wal.Create(wal.Options{
+		Dir:    t.TempDir(),
+		Tree:   rplustree.Config{Schema: dataset.LandsEndSchema(), BaseK: 5},
+		NoSync: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer refStore.Close()
+	if _, err := refStore.ApplyBatch(ops); err != nil {
+		t.Fatal(err)
+	}
+	ref, err := refStore.Release(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mb := range []int{1, 64} {
+		mustEqualPartitions(t, "server path", ref, runServer(mb))
 	}
 }
 

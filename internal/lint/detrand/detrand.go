@@ -48,6 +48,7 @@ var Deterministic = map[string]bool{
 	"spatialanon/internal/detrng":    true,
 	"spatialanon/internal/retry":     true,
 	"spatialanon/internal/wal":       true,
+	"spatialanon/internal/serve":     true,
 }
 
 // Analyzer flags the three nondeterminism sources. It carries no

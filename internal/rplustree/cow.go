@@ -1,0 +1,69 @@
+package rplustree
+
+import (
+	"spatialanon/internal/attr"
+)
+
+// This file implements copy-on-write leaf snapshots: the mechanism the
+// serving layer (internal/serve) uses to publish an immutable view of
+// the leaf summary after every group commit without paying an O(n)
+// copy per batch.
+//
+// Leaves() aliases tree storage, so a caller that wants a snapshot
+// surviving further mutation must copy every leaf — O(n) per
+// snapshot, which dominates a write path that publishes after every
+// batch. SnapshotLeaves instead copies only the leaves whose content
+// changed since the caller's previous snapshot and reuses the earlier
+// copies for the rest, making each snapshot O(leaves + changed
+// records): the walk is unavoidable, the copying is proportional to
+// the batch, not the tree.
+//
+// Change detection is a per-leaf version counter (node.ver) bumped at
+// every site that mutates a leaf's payload — insertIntoLeaf,
+// bulkAppendLeaf and Delete; splits and underflow repair mint new
+// nodes or route through those sites, so no mutation escapes the
+// counter. Reuse additionally requires that the leaf was visited by
+// the immediately preceding snapshot (node.snapGen matches the tree's
+// generation counter), which makes a freshly minted node — whose
+// zero-valued stamps could otherwise masquerade as "unchanged" —
+// always copy.
+
+// SnapshotLeaves returns every non-empty leaf in trie order, like
+// Leaves, but with MBRs and record slices OWNED by the caller: they
+// never alias tree storage, so the returned slice remains a
+// consistent snapshot under any further mutation. prev must be the
+// slice returned by this tree's previous SnapshotLeaves call (or nil
+// for a full copy); entries for leaves unchanged since then are
+// reused from it, so the caller must treat every returned LeafView as
+// immutable and shared.
+//
+// Like all tree reads, SnapshotLeaves is not safe for concurrent use
+// with mutation: it is meant to be called from the one goroutine that
+// owns the tree (the serving layer's committer), which then hands the
+// immutable result to any number of readers.
+func (t *Tree) SnapshotLeaves(prev []LeafView) []LeafView {
+	// Generation 0 is the zero value of every freshly minted node, so
+	// reuse is only trusted from generation 1 on; the first snapshot of
+	// a tree (or of a recovered tree, whose nodes are all fresh) copies
+	// everything.
+	gen := t.snapGen
+	t.snapGen++
+	cur := t.snapGen
+	out := make([]LeafView, 0, len(prev)+1)
+	t.walkLeaves(t.root, func(n *node) {
+		if len(n.recs) == 0 {
+			return
+		}
+		if gen > 0 && n.snapGen == gen && n.snapVer == n.ver && n.snapIdx < len(prev) {
+			out = append(out, prev[n.snapIdx])
+		} else {
+			recs := make([]attr.Record, len(n.recs))
+			copy(recs, n.recs)
+			out = append(out, LeafView{MBR: n.mbr.Clone(), Records: recs})
+		}
+		n.snapGen = cur
+		n.snapVer = n.ver
+		n.snapIdx = len(out) - 1
+	})
+	return out
+}

@@ -148,6 +148,17 @@ type node struct {
 
 	recs []attr.Record // leaf payload
 
+	// ver counts content mutations of this leaf (appends, deletes) —
+	// the copy-on-write snapshot machinery of cow.go uses it to detect
+	// leaves unchanged since the last snapshot. Nodes minted by splits
+	// start at zero: a fresh node is never mistaken for a previously
+	// snapshotted one because its snapGen cannot match the live
+	// generation (see SnapshotLeaves).
+	ver     uint64
+	snapGen uint64 // generation of the last snapshot that visited this leaf
+	snapVer uint64 // ver at that snapshot
+	snapIdx int    // this leaf's index in that snapshot's output
+
 	children []*node
 	trie     *splitTrie
 
@@ -167,6 +178,9 @@ type Tree struct {
 	// loader is the buffer-tree bulk loader currently driving this
 	// tree, if any (see bufferload.go).
 	loader *BulkLoader
+
+	// snapGen numbers SnapshotLeaves calls (see cow.go).
+	snapGen uint64
 }
 
 // New creates an empty tree.
@@ -259,6 +273,7 @@ func routeChild(n *node, p []float64) *node {
 // runs, so a split error never loses it.
 func (t *Tree) insertIntoLeaf(leaf *node, rec attr.Record) error {
 	leaf.recs = append(leaf.recs, rec)
+	leaf.ver++
 	for n := leaf; n != nil; n = n.parent {
 		n.count++
 		n.mbr.Include(rec.QI)
@@ -277,6 +292,7 @@ func (t *Tree) bulkAppendLeaf(leaf *node, recs []attr.Record) error {
 		return nil
 	}
 	leaf.recs = append(leaf.recs, recs...)
+	leaf.ver++
 	box := attr.NewBox(t.cfg.Schema.Dims())
 	for _, r := range recs {
 		box.Include(r.QI)
@@ -528,6 +544,7 @@ func (t *Tree) Delete(id int64, qi []float64) (bool, error) {
 		return false, nil
 	}
 	leaf.recs = append(leaf.recs[:idx], leaf.recs[idx+1:]...)
+	leaf.ver++
 	// Recompute the leaf MBR, then tighten ancestors from their
 	// children's MBRs.
 	leaf.mbr = attr.NewBox(len(leaf.region))

@@ -1,0 +1,334 @@
+// Package serve is the concurrent serving layer over the durable
+// store: the machinery that turns internal/wal's single-goroutine,
+// fsync-per-operation Store into a front end that can take writes
+// from many goroutines and serve reads to many more, concurrently.
+//
+// Three coordinated layers (DESIGN.md "Serving & concurrency
+// control"):
+//
+//   - Group commit. All mutations funnel into one committer
+//     goroutine, which coalesces whatever has queued — up to
+//     MaxBatch — into a single multi-record WAL frame committed with
+//     ONE fsync (wal.Store.ApplyBatch). Callers block until their
+//     batch's frame is durable, so the durability contract is
+//     unchanged: an acknowledged write survives any crash. N
+//     concurrent writers pay ~N/batch fsyncs instead of N.
+//
+//   - Snapshot-isolated reads. After each applied batch the committer
+//     publishes an immutable, epoch-stamped View built by
+//     copy-on-write of the LEAF SUMMARY — leaf boxes and record
+//     headers, not the tree, and only for the leaves the batch
+//     touched (rplustree.SnapshotLeaves); unchanged leaves are shared
+//     with the previous epoch, so the publish cost is proportional to
+//     the batch, not the store.
+//     Readers load the current View through one atomic pointer and
+//     run releases, range counts and query evaluation against it with
+//     no lock shared with the writer; a reader holding an old epoch
+//     keeps a consistent picture until it drops it.
+//
+//   - Release cache. The audited base release and every derived
+//     granularity k1 are computed lazily by the first reader that
+//     asks and memoized inside the View, so repeated releases at the
+//     same granularity are O(1) after the first. The cache key is
+//     effectively (epoch, k1) and epoch advance is the invalidation:
+//     a new View starts cold, old epochs age out when their readers
+//     let go. Every release a reader can observe is audited (verify's
+//     k-anonymity and Lemma-1 k-boundness checks) once per epoch,
+//     before first use.
+//
+// The store itself stays single-goroutine: only the committer touches
+// it (and, through it, the pager), which is the same coordinator
+// confinement discipline the parallel loaders follow.
+package serve
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"spatialanon/internal/attr"
+	"spatialanon/internal/rplustree"
+	"spatialanon/internal/wal"
+)
+
+// Options parameterizes a Server.
+type Options struct {
+	// MaxBatch caps how many queued mutations one group commit
+	// coalesces into a single WAL frame. Default 64.
+	MaxBatch int
+	// PublishEvery publishes a new View every N applied batches
+	// (default 1: every batch). Raising it trades read freshness for
+	// write throughput when views are expensive (large trees).
+	PublishEvery int
+	// Parallelism is the worker count for view computations (base
+	// release scan, cached granularity scans, query evaluation);
+	// 0 = all cores, 1 = serial. Output is identical for every
+	// setting (core.LeafScanP's contract).
+	Parallelism int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 64
+	}
+	if o.PublishEvery <= 0 {
+		o.PublishEvery = 1
+	}
+	return o
+}
+
+// Stats counts what the serving layer has done since New.
+type Stats struct {
+	// Ops is the number of acknowledged mutations.
+	Ops int64
+	// Batches is the number of group commits (= WAL frames = fsyncs
+	// spent on mutations).
+	Batches int64
+	// MaxBatch is the largest batch committed so far.
+	MaxBatch int64
+	// Epoch is the current published epoch.
+	Epoch uint64
+}
+
+// result is what a blocked submitter receives when its batch commits.
+type result struct {
+	found bool
+	err   error
+}
+
+// request is one queued mutation and its completion channel.
+type request struct {
+	op   wal.Op
+	done chan result
+}
+
+// Server is the concurrent front end. Create one with New, mutate
+// with Insert/Delete/Update from any number of goroutines, read with
+// View/Release from any number more, and Close it before closing the
+// underlying store.
+type Server struct {
+	st   *wal.Store
+	opts Options
+	dims int
+	// baseK is the store's base anonymity parameter, copied from the
+	// already-validated tree config (rplustree.Config rejects k < 2);
+	// anonylint:k-validated.
+	baseK int
+
+	reqCh chan *request
+	done  chan struct{}
+
+	mu     sync.RWMutex // guards closed (submit send vs Close)
+	closed bool
+
+	cur    atomic.Pointer[View]
+	failed atomic.Pointer[poison]
+
+	// Committer-owned state (no locks: single goroutine).
+	epoch        uint64
+	sincePublish int
+	opsBuf       []wal.Op
+	// prevSnap is the previous publish's leaf snapshot — the
+	// copy-on-write baseline the next SnapshotLeaves call diffs
+	// against.
+	prevSnap []rplustree.LeafView
+
+	ops      atomic.Int64
+	batches  atomic.Int64
+	maxBatch atomic.Int64
+}
+
+// poison boxes the error that stopped the serving layer (an epoch
+// audit failure or a dead store).
+type poison struct{ err error }
+
+// New wraps an open, audited store. The server immediately publishes
+// epoch 1 — the recovered state — so readers always have a View, and
+// then starts the committer. The store must not be used directly
+// while the server is live: the committer owns it.
+func New(st *wal.Store, opts Options) (*Server, error) {
+	if st == nil {
+		return nil, fmt.Errorf("serve: nil store")
+	}
+	if err := st.Err(); err != nil {
+		return nil, fmt.Errorf("serve: store is poisoned: %w", err)
+	}
+	opts = opts.withDefaults()
+	cfg := st.Tree().Config()
+	s := &Server{
+		st:    st,
+		opts:  opts,
+		dims:  cfg.Schema.Dims(),
+		baseK: cfg.BaseK,
+		reqCh: make(chan *request, opts.MaxBatch),
+		done:  make(chan struct{}),
+	}
+	s.publish()
+	go s.commitLoop()
+	return s, nil
+}
+
+// Insert durably inserts one record. It blocks until the record's
+// group commit is on disk.
+func (s *Server) Insert(rec attr.Record) error {
+	_, err := s.submit(wal.Op{Type: wal.TypeInsert, Rec: rec})
+	return err
+}
+
+// Delete durably deletes the record with the given id at qi,
+// reporting whether it existed.
+func (s *Server) Delete(id int64, qi []float64) (bool, error) {
+	return s.submit(wal.Op{Type: wal.TypeDelete, ID: id, OldQI: qi})
+}
+
+// Update durably relocates a record, reporting whether it existed.
+func (s *Server) Update(id int64, oldQI []float64, rec attr.Record) (bool, error) {
+	return s.submit(wal.Op{Type: wal.TypeUpdate, ID: id, OldQI: oldQI, Rec: rec})
+}
+
+// submit validates on the calling goroutine (a bad op must fail its
+// own caller, never the batch it would have shared), enqueues, and
+// blocks for the commit result.
+func (s *Server) submit(op wal.Op) (bool, error) {
+	if err := wal.ValidateOp(s.dims, op); err != nil {
+		return false, err
+	}
+	if p := s.failed.Load(); p != nil {
+		return false, p.err
+	}
+	r := &request{op: op, done: make(chan result, 1)}
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		return false, fmt.Errorf("serve: server is closed")
+	}
+	s.reqCh <- r
+	s.mu.RUnlock()
+	res := <-r.done
+	return res.found, res.err
+}
+
+// commitLoop is the committer: the one goroutine that touches the
+// store. It blocks for the first queued request, drains whatever else
+// has queued up to MaxBatch without waiting (group commit needs no
+// timer — the batch is "everyone who arrived while the last fsync
+// ran"), commits the batch as one frame, publishes, and acknowledges.
+func (s *Server) commitLoop() {
+	defer close(s.done)
+	batch := make([]*request, 0, s.opts.MaxBatch)
+	for {
+		r, ok := <-s.reqCh
+		if !ok {
+			break
+		}
+		batch = append(batch[:0], r)
+		chClosed := false
+	drain:
+		for len(batch) < s.opts.MaxBatch {
+			select {
+			case r2, ok2 := <-s.reqCh:
+				if !ok2 {
+					chClosed = true
+					break drain
+				}
+				batch = append(batch, r2)
+			default:
+				break drain
+			}
+		}
+		s.commit(batch)
+		if chClosed {
+			break
+		}
+		// Yield once so the submitters just woken by the acks get to
+		// re-enqueue before the next drain: without this, on a loaded
+		// machine the committer can win the race back to reqCh every
+		// time and batches collapse toward one op per fsync.
+		runtime.Gosched()
+	}
+	// Flush the last epoch so Close leaves the view current.
+	if s.sincePublish > 0 && s.failed.Load() == nil {
+		s.publish()
+	}
+}
+
+// commit applies one batch as a single durable frame, publishes the
+// next epoch if one is due, then wakes the submitters. Publishing
+// before acknowledging gives read-your-writes at PublishEvery=1: by
+// the time a caller unblocks, the current View reflects its write.
+func (s *Server) commit(batch []*request) {
+	s.opsBuf = s.opsBuf[:0]
+	for _, r := range batch {
+		s.opsBuf = append(s.opsBuf, r.op)
+	}
+	found, err := s.st.ApplyBatch(s.opsBuf)
+	if err == nil {
+		s.ops.Add(int64(len(batch)))
+		s.batches.Add(1)
+		if n := int64(len(batch)); n > s.maxBatch.Load() {
+			s.maxBatch.Store(n)
+		}
+		s.sincePublish++
+		if s.sincePublish >= s.opts.PublishEvery {
+			s.publish()
+			s.sincePublish = 0
+		}
+	} else {
+		s.failed.Store(&poison{err})
+	}
+	for i, r := range batch {
+		res := result{err: err}
+		if err == nil {
+			res.found = found[i]
+		}
+		r.done <- res
+	}
+}
+
+// View returns the current published epoch's immutable view. The
+// returned View never changes; load it once per logical read to get
+// snapshot isolation, or repeatedly to follow the epoch head.
+func (s *Server) View() *View {
+	return s.cur.Load()
+}
+
+// Release is shorthand for View().Release(k1): the current epoch's
+// release at granularity k1 (0 = base k), memoized per epoch.
+func (s *Server) Release(k1 int) ([]Partition, error) {
+	return s.cur.Load().Release(k1)
+}
+
+// Stats reports serving counters; safe from any goroutine.
+func (s *Server) Stats() Stats {
+	return Stats{
+		Ops:      s.ops.Load(),
+		Batches:  s.batches.Load(),
+		MaxBatch: s.maxBatch.Load(),
+		Epoch:    s.cur.Load().Epoch(),
+	}
+}
+
+// Err reports why the serving layer stopped, or nil while healthy.
+func (s *Server) Err() error {
+	if p := s.failed.Load(); p != nil {
+		return p.err
+	}
+	return nil
+}
+
+// Close stops accepting mutations, commits everything already queued,
+// publishes the final epoch and stops the committer. The underlying
+// store is NOT closed — the caller owns it (checkpoint it, then close
+// it). Close is idempotent and safe to race with submitters: a late
+// submitter gets a "server is closed" error instead of a hang.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.reqCh)
+	}
+	s.mu.Unlock()
+	<-s.done
+	return s.Err()
+}

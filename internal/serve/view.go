@@ -1,0 +1,215 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+
+	"spatialanon/internal/anonmodel"
+	"spatialanon/internal/attr"
+	"spatialanon/internal/core"
+	"spatialanon/internal/query"
+	"spatialanon/internal/verify"
+)
+
+// Partition aliases anonmodel.Partition: views speak the same release
+// vocabulary as the rest of the repository.
+type Partition = anonmodel.Partition
+
+// View is one published epoch: an immutable, consistent snapshot of
+// the store's state. The committer builds it by copying the leaf
+// summary — leaf boxes and record headers, NOT the tree — so the
+// publish cost on the write path is one sequential memcpy; the
+// audited base release and every derived granularity are computed
+// lazily by the first reader that asks and memoized for the view's
+// lifetime. Everything a View returns is owned by the View, so any
+// number of readers may use it concurrently with ongoing mutation.
+// Returned partition slices are shared between callers and MUST be
+// treated as read-only (same contract as rplustree.LeafView).
+type View struct {
+	epoch   uint64
+	seq     uint64
+	baseK   int
+	n       int
+	workers int
+
+	// leaves is the snapshotted leaf summary: one born-compacted
+	// partition per leaf, in trie order — the input of every
+	// derivation below. Unchanged leaves share storage with the
+	// previous epoch's View (copy-on-write).
+	leaves []Partition
+
+	baseOnce sync.Once
+	base     []Partition
+	baseErr  error
+
+	mu    sync.Mutex
+	cache map[int]*releaseEntry
+	recs  recordsEntry
+}
+
+// recordsEntry memoizes the view's flattened record list.
+type recordsEntry struct {
+	once sync.Once
+	recs []attr.Record
+}
+
+// releaseEntry memoizes one granularity's release. The entry is
+// created under v.mu but computed under its own once, so two readers
+// asking for a cold k1 share one computation without serializing
+// against readers of other granularities.
+type releaseEntry struct {
+	once sync.Once
+	ps   []Partition
+	err  error
+}
+
+// publish builds and installs the next epoch's View from the current
+// tree state. Committer-only: it is the one place the live tree is
+// read, and it runs serially with mutation. The snapshot is
+// copy-on-write at leaf granularity (rplustree.SnapshotLeaves): only
+// leaves touched since the previous publish are copied, the rest are
+// shared with the previous epoch's View, so the write path pays
+// O(leaves + batch), not O(n), per publish.
+func (s *Server) publish() {
+	t := s.st.Tree()
+	snap := t.SnapshotLeaves(s.prevSnap)
+	s.prevSnap = snap
+	parts := make([]Partition, len(snap))
+	for i, l := range snap {
+		parts[i] = Partition{Box: l.MBR, Records: l.Records}
+	}
+	v := &View{
+		epoch:   s.epoch + 1,
+		seq:     s.st.Seq(),
+		baseK:   s.baseK,
+		n:       t.Len(),
+		workers: s.opts.Parallelism,
+		leaves:  parts,
+		cache:   make(map[int]*releaseEntry),
+	}
+	s.epoch = v.epoch
+	s.cur.Store(v)
+}
+
+// ensureBase materializes and audits the base release once per view.
+// Every release a reader can observe passes the independent auditor —
+// k-anonymity of the scan output plus the Lemma-1 k-boundness check —
+// before it is returned; the audit runs once per published epoch, on
+// first access, and its verdict is memoized with the release.
+func (v *View) ensureBase() ([]Partition, error) {
+	v.baseOnce.Do(func() {
+		if v.n < v.baseK {
+			v.baseErr = fmt.Errorf("serve: store holds %d records, below base k %d", v.n, v.baseK)
+			return
+		}
+		base, err := core.LeafScanP(v.leaves, anonmodel.KAnonymity{K: v.baseK}, v.workers)
+		if err != nil {
+			v.baseErr = fmt.Errorf("serve: epoch %d base release: %w", v.epoch, err)
+			return
+		}
+		if err := verify.Release(base, anonmodel.KAnonymity{K: v.baseK}); err != nil {
+			v.baseErr = fmt.Errorf("serve: epoch %d failed release audit: %w", v.epoch, err)
+			return
+		}
+		if err := verify.Releases([][]Partition{base}, v.baseK); err != nil {
+			v.baseErr = fmt.Errorf("serve: epoch %d failed k-boundness audit: %w", v.epoch, err)
+			return
+		}
+		v.base = base
+	})
+	return v.base, v.baseErr
+}
+
+// Epoch is the view's publication stamp; it increases by one per
+// published view.
+func (v *View) Epoch() uint64 { return v.epoch }
+
+// Seq is the committed operation count folded into this view.
+func (v *View) Seq() uint64 { return v.seq }
+
+// Len is the number of live records in this view.
+func (v *View) Len() int { return v.n }
+
+// BaseK is the base anonymity parameter of the underlying store.
+func (v *View) BaseK() int { return v.baseK }
+
+// Base returns the audited base release (granularity k). It errors
+// while the store holds fewer than k records — no release exists
+// below k.
+func (v *View) Base() ([]Partition, error) {
+	return v.ensureBase()
+}
+
+// Release returns the release at granularity k1 (0 = base k),
+// memoized for the view's lifetime: the first caller per granularity
+// runs the leaf scan, every later caller gets the cached partitions
+// in O(1). Each derived granularity is audited jointly with the base
+// release, so every (epoch, k1) pair a reader can observe has passed
+// the Lemma-1 k-boundness check. The k1 parameter is a granularity,
+// not a fresh anonymity parameter: values below the store's validated
+// base k are rejected here; anonylint:k-validated.
+func (v *View) Release(k1 int) ([]Partition, error) {
+	base, err := v.ensureBase()
+	if err != nil {
+		return nil, err
+	}
+	if k1 == 0 || k1 == v.baseK {
+		return base, nil
+	}
+	if k1 < v.baseK {
+		return nil, fmt.Errorf("serve: granularity %d below base k %d", k1, v.baseK)
+	}
+	v.mu.Lock()
+	e, ok := v.cache[k1]
+	if !ok {
+		e = &releaseEntry{}
+		v.cache[k1] = e
+	}
+	v.mu.Unlock()
+	e.once.Do(func() {
+		ps, err := core.LeafScanP(base, anonmodel.KAnonymity{K: k1}, v.workers)
+		if err == nil {
+			err = verify.Releases([][]Partition{base, ps}, v.baseK)
+		}
+		e.ps, e.err = ps, err
+	})
+	return e.ps, e.err
+}
+
+// Records returns the view's records in trie order (the order the
+// leaf summary concatenates them), memoized. Read-only, like every
+// View product.
+func (v *View) Records() []attr.Record {
+	v.recs.once.Do(func() {
+		recs := make([]attr.Record, 0, v.n)
+		for _, p := range v.leaves {
+			recs = append(recs, p.Records...)
+		}
+		v.recs.recs = recs
+	})
+	return v.recs.recs
+}
+
+// Count estimates the number of records in the query box from the
+// anonymized base release under the uniformity assumption — the
+// serving-path answer to a range count, computed without touching the
+// live tree.
+func (v *View) Count(q attr.Box) (float64, error) {
+	base, err := v.ensureBase()
+	if err != nil {
+		return 0, err
+	}
+	return query.EstimateUniform(base, q), nil
+}
+
+// Evaluate runs the query-accuracy evaluator against this view's base
+// release: per query, the true count over the view's records and the
+// anonymized estimate. Output is identical for every Parallelism
+// setting.
+func (v *View) Evaluate(queries []attr.Box) ([]query.Result, error) {
+	base, err := v.ensureBase()
+	if err != nil {
+		return nil, err
+	}
+	return query.EvaluateP(base, v.Records(), queries, v.workers)
+}

@@ -58,6 +58,12 @@ const (
 	// TypeCheckpointEnd is a checkpoint manifest — always and only the
 	// first record of a log file.
 	TypeCheckpointEnd Type = 5
+	// TypeBatch logs a group commit: several maintenance operations in
+	// ONE frame, so the frame checksum makes the whole batch
+	// all-or-nothing. A torn batch is indistinguishable from a torn
+	// single-record frame — the scanner drops it entirely — which is
+	// what guarantees recovery never applies a batch prefix.
+	TypeBatch Type = 6
 )
 
 // String implements fmt.Stringer.
@@ -73,6 +79,8 @@ func (t Type) String() string {
 		return "checkpoint-begin"
 	case TypeCheckpointEnd:
 		return "checkpoint-end"
+	case TypeBatch:
+		return "batch"
 	}
 	return fmt.Sprintf("wal.Type(%d)", byte(t))
 }
@@ -92,9 +100,22 @@ type Manifest struct {
 	Pages []pager.PageID
 }
 
+// Op is one maintenance operation inside a group commit: the subset
+// of Record that insert, delete and update carry. Op.Type must be
+// TypeInsert, TypeDelete or TypeUpdate; batches do not nest.
+type Op struct {
+	Type Type
+	// Rec is the inserted (or relocated-to) record.
+	Rec attr.Record
+	// ID and OldQI identify the record a delete or update targets.
+	ID    int64
+	OldQI []float64
+}
+
 // Record is one decoded log record. Which fields are meaningful
 // depends on Type: Rec for inserts and updates, ID and OldQI for
-// deletes and updates, Manifest for checkpoint ends.
+// deletes and updates, Manifest for checkpoint ends, Batch for group
+// commits.
 type Record struct {
 	Type Type
 	// Seq is the record's sequence number; appends number consecutively
@@ -107,6 +128,11 @@ type Record struct {
 	OldQI []float64
 	// Manifest is the checkpoint manifest (TypeCheckpointEnd only).
 	Manifest *Manifest
+	// Batch is the operation list of a group commit (TypeBatch only).
+	// Seq numbers the batch's FIRST operation; the rest follow
+	// consecutively, so the batch occupies sequence numbers
+	// [Seq, Seq+len(Batch)).
+	Batch []Op
 }
 
 // castagnoli is the CRC32-C table, shared with the pager's page seals.
@@ -137,6 +163,30 @@ func Encode(r Record) ([]byte, error) {
 		b = appendVec(b, r.OldQI)
 		return appendRecord(b, r.Rec), nil
 	case TypeCheckpointBegin:
+		return b, nil
+	case TypeBatch:
+		if len(r.Batch) == 0 {
+			return nil, fmt.Errorf("wal: empty batch record")
+		}
+		b = binary.LittleEndian.AppendUint32(b, uint32(len(r.Batch)))
+		for _, op := range r.Batch {
+			switch op.Type {
+			case TypeInsert:
+				b = append(b, byte(TypeInsert))
+				b = appendRecord(b, op.Rec)
+			case TypeDelete:
+				b = append(b, byte(TypeDelete))
+				b = binary.LittleEndian.AppendUint64(b, uint64(op.ID))
+				b = appendVec(b, op.OldQI)
+			case TypeUpdate:
+				b = append(b, byte(TypeUpdate))
+				b = binary.LittleEndian.AppendUint64(b, uint64(op.ID))
+				b = appendVec(b, op.OldQI)
+				b = appendRecord(b, op.Rec)
+			default:
+				return nil, fmt.Errorf("wal: batch op of type %v", op.Type)
+			}
+		}
 		return b, nil
 	case TypeCheckpointEnd:
 		if r.Manifest == nil {
@@ -211,6 +261,54 @@ func Decode(payload []byte) (Record, error) {
 		}
 	case TypeCheckpointBegin:
 		// No body.
+	case TypeBatch:
+		n, err := d.u32()
+		if err != nil {
+			return Record{}, err
+		}
+		// Each op costs at least one tag byte, bounding the count by the
+		// remaining payload like every other decoded vector.
+		if n == 0 || int(n) > maxVec || int(n) > d.remaining() {
+			return Record{}, fmt.Errorf("wal: batch claims %d ops, %d bytes left", n, d.remaining())
+		}
+		r.Batch = make([]Op, n)
+		for i := range r.Batch {
+			tag, err := d.u8()
+			if err != nil {
+				return Record{}, err
+			}
+			op := Op{Type: Type(tag)}
+			switch op.Type {
+			case TypeInsert:
+				if op.Rec, err = d.record(); err != nil {
+					return Record{}, err
+				}
+			case TypeDelete:
+				id, err := d.u64()
+				if err != nil {
+					return Record{}, err
+				}
+				op.ID = int64(id)
+				if op.OldQI, err = d.vec(); err != nil {
+					return Record{}, err
+				}
+			case TypeUpdate:
+				id, err := d.u64()
+				if err != nil {
+					return Record{}, err
+				}
+				op.ID = int64(id)
+				if op.OldQI, err = d.vec(); err != nil {
+					return Record{}, err
+				}
+				if op.Rec, err = d.record(); err != nil {
+					return Record{}, err
+				}
+			default:
+				return Record{}, fmt.Errorf("wal: batch op %d has type %d", i, tag)
+			}
+			r.Batch[i] = op
+		}
 	case TypeCheckpointEnd:
 		m := &Manifest{}
 		if m.Seq, err = d.u64(); err != nil {

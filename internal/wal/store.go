@@ -90,7 +90,9 @@ type RecoveryStats struct {
 // Store is a crash-consistent anonymizing index: an rplustree whose
 // maintenance operations are write-ahead logged and whose state is
 // periodically checkpointed, with audited recovery. Not safe for
-// concurrent use.
+// concurrent use; internal/serve wraps a Store in a group-commit
+// front end that serializes all access through one committer
+// goroutine and serves readers from immutable snapshots.
 type Store struct {
 	opts      Options
 	tree      *rplustree.Tree
@@ -269,9 +271,15 @@ func (s *Store) recover(img []byte) error {
 		if err := s.apply(rec); err != nil {
 			return err
 		}
-		s.seq = rec.Seq
-		s.recovery.Replayed++
-		s.sinceCkpt++
+		// A batch frame commits len(Batch) consecutive operations in
+		// one durable unit; the scanner already guaranteed it is whole.
+		nops := 1
+		if rec.Type == TypeBatch {
+			nops = len(rec.Batch)
+		}
+		s.seq = rec.Seq + uint64(nops) - 1
+		s.recovery.Replayed += nops
+		s.sinceCkpt += nops
 	}
 	s.recovery.TornBytes = sc.TornBytes()
 
@@ -306,8 +314,29 @@ func (s *Store) apply(r Record) error {
 	case TypeUpdate:
 		_, err := s.tree.Update(r.ID, r.OldQI, r.Rec)
 		return err
+	case TypeBatch:
+		for _, op := range r.Batch {
+			if _, err := s.applyOp(op); err != nil {
+				return err
+			}
+		}
+		return nil
 	}
 	return fmt.Errorf("wal: apply of %v record", r.Type)
+}
+
+// applyOp performs one batched operation on the tree, reporting
+// whether the targeted record existed (inserts always report true).
+func (s *Store) applyOp(op Op) (bool, error) {
+	switch op.Type {
+	case TypeInsert:
+		return true, s.tree.Insert(op.Rec)
+	case TypeDelete:
+		return s.tree.Delete(op.ID, op.OldQI)
+	case TypeUpdate:
+		return s.tree.Update(op.ID, op.OldQI, op.Rec)
+	}
+	return false, fmt.Errorf("wal: apply of %v batch op", op.Type)
 }
 
 // audit is the recovery gate: the independent auditor must re-prove
@@ -361,7 +390,15 @@ func (s *Store) die(err error) {
 // is durable before it is applied — so nothing may reach the WAL that
 // apply, checkpoint, or recovery could reject.
 func (s *Store) validateQI(qi []float64) error {
-	if dims := s.tree.Config().Schema.Dims(); len(qi) != dims {
+	return ValidateQI(s.tree.Config().Schema.Dims(), qi)
+}
+
+// ValidateQI is the store's ingress rule as a stateless function, so
+// concurrent front ends can validate on the submitting goroutine
+// before an operation is enqueued into a shared batch (a bad op must
+// fail its own caller, not everyone sharing its commit frame).
+func ValidateQI(dims int, qi []float64) error {
+	if len(qi) != dims {
 		return fmt.Errorf("wal: record has %d attributes, store schema has %d", len(qi), dims)
 	}
 	for i, v := range qi {
@@ -370,6 +407,22 @@ func (s *Store) validateQI(qi []float64) error {
 		}
 	}
 	return nil
+}
+
+// ValidateOp applies the ingress rules to one batch operation.
+func ValidateOp(dims int, op Op) error {
+	switch op.Type {
+	case TypeInsert:
+		return ValidateQI(dims, op.Rec.QI)
+	case TypeDelete:
+		return ValidateQI(dims, op.OldQI)
+	case TypeUpdate:
+		if err := ValidateQI(dims, op.OldQI); err != nil {
+			return err
+		}
+		return ValidateQI(dims, op.Rec.QI)
+	}
+	return fmt.Errorf("wal: batch op of type %v", op.Type)
 }
 
 // applyLive performs a committed operation on the live tree. The log
@@ -470,6 +523,47 @@ func (s *Store) Update(id int64, oldQI []float64, rec attr.Record) (bool, error)
 		return err
 	}); err != nil {
 		return found, err
+	}
+	return found, s.maybeCheckpoint()
+}
+
+// ApplyBatch logs and applies a group of operations as ONE durable
+// log frame — one write, one fsync — turning N per-operation syncs
+// into one. The batch is all-or-nothing at the frame boundary: a
+// crash mid-append tears the whole frame, and recovery's scanner
+// drops a torn frame entirely, so no prefix of a batch is ever
+// replayed. The returned slice reports, per operation, whether its
+// target existed (inserts always true). Callers submitting on behalf
+// of independent clients should pre-validate each op with ValidateOp:
+// ApplyBatch rejects the whole batch on the first invalid op.
+func (s *Store) ApplyBatch(ops []Op) ([]bool, error) {
+	if s.dead != nil {
+		return nil, s.dead
+	}
+	if len(ops) == 0 {
+		return nil, nil
+	}
+	dims := s.tree.Config().Schema.Dims()
+	for i, op := range ops {
+		if err := ValidateOp(dims, op); err != nil {
+			return nil, fmt.Errorf("wal: batch op %d: %w", i, err)
+		}
+	}
+	if err := s.log(Record{Type: TypeBatch, Seq: s.seq + 1, Batch: ops}); err != nil {
+		return nil, err
+	}
+	s.seq += uint64(len(ops))
+	s.sinceCkpt += len(ops)
+	found := make([]bool, len(ops))
+	for i := range ops {
+		op := ops[i]
+		var ferr error
+		if err := s.applyLive(func() error {
+			found[i], ferr = s.applyOp(op)
+			return ferr
+		}); err != nil {
+			return found, err
+		}
 	}
 	return found, s.maybeCheckpoint()
 }

@@ -63,6 +63,12 @@ type Writer struct {
 	noSync bool
 	retry  retry.Policy
 	dead   error
+	// buf is the frame scratch buffer, reused across appends so the
+	// steady-state framing cost is zero allocations (the CRC table is
+	// likewise built once, at package init). Safe because the writer
+	// is single-goroutine and the frame is fully written before Append
+	// returns.
+	buf []byte
 }
 
 // openWriter opens path for appending. The file's existing contents
@@ -94,10 +100,11 @@ func (w *Writer) Append(payload []byte) error {
 	if len(payload) > maxFrame {
 		return fmt.Errorf("wal: frame payload of %d bytes exceeds limit %d", len(payload), maxFrame)
 	}
-	frame := make([]byte, 0, len(payload)+frameOverhead)
+	frame := w.buf[:0]
 	frame = binary.LittleEndian.AppendUint32(frame, uint32(len(payload)))
 	frame = append(frame, payload...)
 	frame = binary.LittleEndian.AppendUint32(frame, Checksum(payload))
+	w.buf = frame
 
 	persist := len(frame)
 	crashed := false
