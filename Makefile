@@ -6,7 +6,7 @@ GO ?= go
 # writes a new baseline without editing the Makefile.
 BENCH ?= BENCH_BASELINE.json
 
-.PHONY: all build test vet lint race chaos crash throughput fuzz bench cover experiments examples clean
+.PHONY: all build test vet lint race chaos chaos-serve crash throughput fuzz bench cover experiments examples clean
 
 all: vet test
 
@@ -41,6 +41,15 @@ race:
 # The seeded fault-schedule harness (internal/verify), verbosely.
 chaos:
 	$(GO) test ./internal/verify/ -run 'TestChaos' -v
+
+# The serve-level chaos matrix (internal/serve): seeded schedules of
+# torn WAL writes, flaky fsyncs, checkpoint bit rot and bounded
+# permanent faults against the full server, asserting it either
+# degrades to read-only on its last audited epoch or resurrects to an
+# audited k-safe state — never losing an acknowledged write, never
+# serving an unaudited view.
+chaos-serve:
+	$(GO) test ./internal/serve/ -run 'TestChaosServeMatrix' -v
 
 # The WAL crash matrix: a churn workload crashed at every durable
 # operation (each log append and checkpoint page write, with torn

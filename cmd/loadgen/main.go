@@ -14,6 +14,7 @@
 //	loadgen -n 20000 -ops 5000 -writers 8 -readers 4
 //	loadgen -dir ./store -nosync=false -writers 16 -batch 64
 //	loadgen -dataset patients -readers 8 -k1 25
+//	loadgen -overload -writers 32 -queue 4 -batch 4 -deadline 2
 //
 // The store is created in -dir (a temporary directory by default),
 // preloaded with -n records in one bulk batch, then churned: writers
@@ -21,19 +22,30 @@
 // stripes; readers loop snapshot releases at granularity -k1 and
 // range counts against the current view. Durability is real unless
 // -nosync is set: every group commit is an fsync.
+//
+// With -overload the tool measures admission control instead of
+// aborting on the first error: typed rejections (ErrOverloaded,
+// ErrDeadlineExceeded, …) are counted per class and the report adds
+// the shed rate alongside the server's own counters. Size the queue
+// below the writer count (-queue < -writers) to actually provoke
+// shedding. In every mode SIGINT drains gracefully: in-flight
+// operations finish, counters are reported for the partial run.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"sort"
 	"sync"
 	"time"
 
 	"spatialanon/internal/attr"
 	"spatialanon/internal/dataset"
+	"spatialanon/internal/retry"
 	"spatialanon/internal/rplustree"
 	"spatialanon/internal/serve"
 	"spatialanon/internal/wal"
@@ -47,17 +59,20 @@ func main() {
 }
 
 type config struct {
-	dir     string
-	dataset string
-	n       int
-	ops     int
-	writers int
-	readers int
-	batch   int
-	k       int
-	k1      int
-	seed    int64
-	nosync  bool
+	dir      string
+	dataset  string
+	n        int
+	ops      int
+	writers  int
+	readers  int
+	batch    int
+	k        int
+	k1       int
+	seed     int64
+	nosync   bool
+	overload bool
+	queue    int
+	deadline int
 }
 
 func parseFlags(args []string) (config, error) {
@@ -74,6 +89,9 @@ func parseFlags(args []string) (config, error) {
 	fs.IntVar(&c.k1, "k1", 0, "release granularity readers ask for (0 = base k)")
 	fs.Int64Var(&c.seed, "seed", 42, "data generator seed")
 	fs.BoolVar(&c.nosync, "nosync", false, "skip fsync on commit (throughput ceiling, no durability)")
+	fs.BoolVar(&c.overload, "overload", false, "keep driving through typed rejections; report shed rate and per-error-class counts")
+	fs.IntVar(&c.queue, "queue", 0, "submission queue depth (serve.Options.QueueDepth; 0 = 4×batch)")
+	fs.IntVar(&c.deadline, "deadline", 0, "queue deadline in group-commit ticks (serve.Options.DeadlineTicks; 0 = none)")
 	if err := fs.Parse(args); err != nil {
 		return c, err
 	}
@@ -128,6 +146,46 @@ func summarize(lats [][]time.Duration, elapsed time.Duration) classStats {
 	}
 }
 
+// errCounts buckets overload-mode outcomes by the serving layer's
+// typed error taxonomy. One instance per writer, merged at the end, so
+// the hot loop never touches shared state.
+type errCounts struct {
+	acked, shed, expired, degraded, recovering, transient, other int
+}
+
+func (ec *errCounts) classify(err error) {
+	switch {
+	case err == nil:
+		ec.acked++
+	case errors.Is(err, serve.ErrOverloaded):
+		ec.shed++
+	case errors.Is(err, serve.ErrDeadlineExceeded):
+		ec.expired++
+	case errors.Is(err, serve.ErrDegraded):
+		ec.degraded++
+	case errors.Is(err, serve.ErrRecovering):
+		ec.recovering++
+	case retry.IsTransient(err):
+		ec.transient++
+	default:
+		ec.other++
+	}
+}
+
+func (ec *errCounts) add(o errCounts) {
+	ec.acked += o.acked
+	ec.shed += o.shed
+	ec.expired += o.expired
+	ec.degraded += o.degraded
+	ec.recovering += o.recovering
+	ec.transient += o.transient
+	ec.other += o.other
+}
+
+func (ec errCounts) issued() int {
+	return ec.acked + ec.shed + ec.expired + ec.degraded + ec.recovering + ec.transient + ec.other
+}
+
 func (s classStats) String() string {
 	if s.ops == 0 {
 		return "0 ops"
@@ -176,10 +234,32 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("preload: %w", err)
 	}
 
-	s, err := serve.New(st, serve.Options{MaxBatch: c.batch})
+	s, err := serve.New(st, serve.Options{
+		MaxBatch:      c.batch,
+		QueueDepth:    c.queue,
+		DeadlineTicks: c.deadline,
+	})
 	if err != nil {
 		return err
 	}
+
+	// Graceful SIGINT drain: stop issuing new operations, let whatever
+	// is in flight commit, report the partial run. The handler is
+	// uninstalled on exit so a second interrupt kills the process.
+	stop := make(chan struct{})
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt)
+	defer signal.Stop(sigCh)
+	runDone := make(chan struct{})
+	defer close(runDone)
+	go func() {
+		select {
+		case <-sigCh:
+			fmt.Fprintf(out, "loadgen: interrupt — draining in-flight operations\n")
+			close(stop)
+		case <-runDone:
+		}
+	}()
 
 	fmt.Fprintf(out, "loadgen: %s n=%d k=%d writers=%d readers=%d batch=%d ops=%d fsync=%v\n",
 		c.dataset, c.n, c.k, c.writers, c.readers, c.batch, c.ops, !c.nosync)
@@ -192,12 +272,13 @@ func run(args []string, out io.Writer) error {
 	}
 
 	var (
-		wg         sync.WaitGroup
-		writersWG  sync.WaitGroup
-		writerLats = make([][]time.Duration, c.writers)
-		readerLats = make([][]time.Duration, c.readers)
-		errMu      sync.Mutex
-		firstErr   error
+		wg          sync.WaitGroup
+		writersWG   sync.WaitGroup
+		writerLats  = make([][]time.Duration, c.writers)
+		readerLats  = make([][]time.Duration, c.readers)
+		writerCount = make([]errCounts, c.writers)
+		errMu       sync.Mutex
+		firstErr    error
 	)
 	fail := func(err error) {
 		errMu.Lock()
@@ -221,9 +302,15 @@ func run(args []string, out io.Writer) error {
 			// so the store's size stays near the preload and every
 			// update and delete hits a live record.
 			lats := make([]time.Duration, 0, c.ops/c.writers+1)
+			defer func() { writerLats[w] = lats }()
 			var cur attr.Record
 			j := 0
 			for i := w; i < c.ops; i += c.writers {
+				select {
+				case <-stop:
+					return
+				default:
+				}
 				t0 := time.Now()
 				var err error
 				switch j % 3 {
@@ -239,13 +326,17 @@ func run(args []string, out io.Writer) error {
 					_, err = s.Delete(cur.ID, cur.QI)
 				}
 				lats = append(lats, time.Since(t0))
-				if err != nil {
+				if c.overload {
+					// Overload runs measure the rejections instead of
+					// dying on them: a shed or expired submission was
+					// never committed, so the loop just drives on.
+					writerCount[w].classify(err)
+				} else if err != nil {
 					fail(fmt.Errorf("writer %d: %w", w, err))
 					return
 				}
 				j++
 			}
-			writerLats[w] = lats
 		}()
 	}
 
@@ -295,7 +386,10 @@ func run(args []string, out io.Writer) error {
 	if c.writers > 0 {
 		writersWG.Wait()
 	} else {
-		time.Sleep(2 * time.Second)
+		select {
+		case <-time.After(2 * time.Second):
+		case <-stop:
+		}
 	}
 	writeElapsed := time.Since(start)
 	close(stopReaders)
@@ -316,6 +410,21 @@ func run(args []string, out io.Writer) error {
 		if stats.Batches > 0 {
 			fmt.Fprintf(out, "commits: %d batches, %.1f ops/fsync, max batch %d, epoch %d\n",
 				stats.Batches, float64(stats.Ops)/float64(stats.Batches), stats.MaxBatch, stats.Epoch)
+		}
+		if c.overload {
+			var total errCounts
+			for i := range writerCount {
+				total.add(writerCount[i])
+			}
+			issued := total.issued()
+			shedPct := 0.0
+			if issued > 0 {
+				shedPct = 100 * float64(total.shed) / float64(issued)
+			}
+			fmt.Fprintf(out, "overload: issued=%d acked=%d shed=%d (%.1f%% shed) expired=%d degraded=%d recovering=%d transient=%d other=%d\n",
+				issued, total.acked, total.shed, shedPct, total.expired, total.degraded, total.recovering, total.transient, total.other)
+			fmt.Fprintf(out, "server: state=%v shed=%d expired=%d retries=%d recoveries=%d\n",
+				stats.State, stats.Shed, stats.Expired, stats.Retries, stats.Recoveries)
 		}
 	}
 	if c.readers > 0 {

@@ -2,8 +2,13 @@ package main
 
 import (
 	"bytes"
+	"os"
+	"regexp"
+	"strconv"
 	"strings"
+	"syscall"
 	"testing"
+	"time"
 )
 
 func runOK(t *testing.T, args ...string) string {
@@ -39,6 +44,65 @@ func TestWriteOnly(t *testing.T) {
 	}
 	if strings.Contains(out, "reads:") {
 		t.Fatalf("write-only run reported reads:\n%s", out)
+	}
+}
+
+// TestOverloadReport drives far more closed-loop writers than the
+// queue admits, so the bounded queue must shed — typed, counted, and
+// without aborting the run.
+func TestOverloadReport(t *testing.T) {
+	out := runOK(t,
+		"-dir", t.TempDir(), "-n", "300", "-ops", "2000",
+		"-writers", "12", "-readers", "0", "-batch", "1", "-queue", "1",
+		"-k", "4", "-nosync", "-overload")
+	if !strings.Contains(out, "overload: issued=2000") {
+		t.Fatalf("overload report missing or short:\n%s", out)
+	}
+	if !strings.Contains(out, "server: state=healthy") {
+		t.Fatalf("server counters line missing:\n%s", out)
+	}
+	m := regexp.MustCompile(`overload: issued=2000 acked=(\d+) shed=(\d+)`).FindStringSubmatch(out)
+	if m == nil {
+		t.Fatalf("unparseable overload line:\n%s", out)
+	}
+	acked, _ := strconv.Atoi(m[1])
+	shed, _ := strconv.Atoi(m[2])
+	if shed == 0 {
+		t.Fatalf("queue of 1 against 12 writers never shed:\n%s", out)
+	}
+	if acked+shed > 2000 {
+		t.Fatalf("acked %d + shed %d exceed issued 2000:\n%s", acked, shed, out)
+	}
+}
+
+// TestSIGINTDrains interrupts a read-only run mid-window and expects a
+// graceful drain: run returns nil well before the window ends, with
+// the interrupt noted and the read report still printed.
+func TestSIGINTDrains(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-dir", dir, "-n", "200", "-k", "4",
+			"-writers", "0", "-readers", "2", "-nosync"}, &out)
+	}()
+	time.Sleep(300 * time.Millisecond)
+	if err := syscall.Kill(os.Getpid(), syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("interrupted run failed: %v\n%s", err, out.String())
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("run did not drain after SIGINT")
+	}
+	if !strings.Contains(out.String(), "interrupt") {
+		t.Fatalf("drain not reported:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "reads:") {
+		t.Fatalf("partial read report missing:\n%s", out.String())
 	}
 }
 

@@ -11,6 +11,8 @@ package spatialanon
 // single-core runner still exercises the pool scheduling paths).
 
 import (
+	"errors"
+	"fmt"
 	"testing"
 
 	"spatialanon/internal/anonmodel"
@@ -18,6 +20,7 @@ import (
 	"spatialanon/internal/compact"
 	"spatialanon/internal/core"
 	"spatialanon/internal/dataset"
+	"spatialanon/internal/fault"
 	"spatialanon/internal/mondrian"
 	"spatialanon/internal/quality"
 	"spatialanon/internal/query"
@@ -328,6 +331,82 @@ func TestServerPathDeterministic(t *testing.T) {
 	}
 	for _, mb := range []int{1, 64} {
 		mustEqualPartitions(t, "server path", ref, runServer(mb))
+	}
+}
+
+// TestDegradedReadsDeterministic extends the byte-equality contract
+// into the failure path: when a deterministic fault schedule poisons
+// the store mid-stream, the degraded-readonly server keeps serving its
+// last published epoch — and that epoch, read at any worker count,
+// must be identical to the workers=1 reference, down to record order.
+// Degradation must not cost determinism.
+func TestDegradedReadsDeterministic(t *testing.T) {
+	const nRecs = 300
+	recs := dataset.GenerateLandsEnd(nRecs, benchSeed)
+
+	build := func(w int) (int, []anonmodel.Partition) {
+		st, err := wal.Create(wal.Options{
+			Dir:    t.TempDir(),
+			Tree:   rplustree.Config{Schema: dataset.LandsEndSchema(), BaseK: 5, Parallelism: w},
+			NoSync: true,
+			// One permanent device fault at a fixed point of the schedule:
+			// sequential submits make the append sequence — and therefore
+			// the poisoning ack boundary — a pure function of the seed.
+			AppendFault: fault.NewFlaky(1, fault.FlakyConfig{
+				PermanentWriteRate: 1,
+				After:              2 + 2*120,
+				MaxFaults:          1,
+			}),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer st.Close()
+		s, err := serve.New(st, serve.Options{Parallelism: w})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		acked := 0
+		var failErr error
+		for _, r := range recs {
+			if err := s.Insert(r); err != nil {
+				failErr = err
+				break
+			}
+			acked++
+		}
+		if failErr == nil {
+			t.Fatal("fault schedule never fired")
+		}
+		if !errors.Is(failErr, serve.ErrDegraded) || !errors.Is(failErr, wal.ErrPoisoned) {
+			t.Fatalf("workers=%d: poisoning surfaced untyped: %v", w, failErr)
+		}
+		if got := s.State(); got != serve.StateDegraded {
+			t.Fatalf("workers=%d: state %v after poisoning", w, got)
+		}
+		// Writes stay refused with the same typed error...
+		if err := s.Insert(recs[acked]); !errors.Is(err, serve.ErrDegraded) {
+			t.Fatalf("workers=%d: degraded write rejection: %v", w, err)
+		}
+		// ...while reads serve the last published epoch.
+		ps, err := s.View().Release(0)
+		if err != nil {
+			t.Fatalf("workers=%d: degraded read: %v", w, err)
+		}
+		return acked, ps
+	}
+
+	refAcked, ref := build(1)
+	if refAcked < 5 {
+		t.Fatalf("reference acknowledged only %d records before poisoning", refAcked)
+	}
+	for _, w := range detWorkerCounts[1:] {
+		acked, got := build(w)
+		if acked != refAcked {
+			t.Fatalf("workers=%d acknowledged %d records before poisoning, reference %d", w, acked, refAcked)
+		}
+		mustEqualPartitions(t, fmt.Sprintf("degraded read workers=%d", w), ref, got)
 	}
 }
 

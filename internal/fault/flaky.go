@@ -1,0 +1,145 @@
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// LogError is a typed injected failure of a log append or fsync — the
+// frame-stream analogue of the page-scoped Error. The WAL writer and
+// the retry helper match it structurally through `Transient() bool`,
+// so the injector package stays import-free of both.
+type LogError struct {
+	Op   string // "append" or "sync"
+	Kind Kind
+}
+
+// Error implements error.
+func (e *LogError) Error() string {
+	return fmt.Sprintf("fault: %s log %s error", e.Kind, e.Op)
+}
+
+// Transient reports whether retrying the failed attempt can succeed.
+func (e *LogError) Transient() bool { return e.Kind == Transient }
+
+// FlakyConfig sets the per-attempt fault probabilities of a Flaky
+// injector. A zero config injects nothing.
+type FlakyConfig struct {
+	// TransientWriteRate is the probability one physical frame write
+	// attempt fails retryably. A transient write fault tears a random
+	// prefix of the frame into the log — exactly the partial write a
+	// power-cut-free device error leaves behind — so the writer's
+	// truncate-before-retry discipline is exercised on every schedule.
+	TransientWriteRate float64
+	// TransientSyncRate is the probability one fsync attempt fails
+	// retryably.
+	TransientSyncRate float64
+	// PermanentWriteRate is the probability one frame write attempt
+	// fails permanently: the device rejected the command for good, so
+	// retrying is futile and the store must escalate (poison itself)
+	// rather than spin.
+	PermanentWriteRate float64
+	// After arms the injector only after this many intercepted
+	// attempts, so schedules can target mid-workload states.
+	After int
+	// MaxFaults caps the number of injected faults; 0 means unlimited.
+	// A bounded schedule is how resurrection tests model "the device
+	// glitched and came back": once the budget is spent the log is
+	// clean again and recovery can succeed.
+	MaxFaults int
+}
+
+// Flaky is a deterministic fault injector for the WAL append path: it
+// intercepts physical write and fsync attempts (the wal.AppendFault
+// contract, satisfied structurally) and fails them on a schedule that
+// is a pure function of (seed, sequence of intercepted attempts). It
+// is not safe for concurrent use — neither is the WAL writer.
+type Flaky struct {
+	cfg    FlakyConfig
+	seed   int64
+	rng    *rand.Rand
+	ops    int
+	counts map[Kind]int
+}
+
+// NewFlaky returns an injector whose fault schedule is a pure function
+// of seed and the sequence of intercepted attempts.
+func NewFlaky(seed int64, cfg FlakyConfig) *Flaky {
+	return &Flaky{cfg: cfg, seed: seed, rng: rand.New(rand.NewSource(seed)), counts: make(map[Kind]int)}
+}
+
+// Seed returns the seed the injector was created with.
+func (f *Flaky) Seed() int64 { return f.seed }
+
+// WriteAttempt is consulted before one physical frame write of
+// frameLen bytes. On a fault it reports how many bytes of the frame
+// land anyway (a torn prefix; zero means nothing reached the log) and
+// the typed error; on a clean attempt it returns (0, nil) and the
+// writer performs the full write itself.
+func (f *Flaky) WriteAttempt(frameLen int) (tear int, err error) {
+	f.ops++
+	if !f.flakyArmed() {
+		return 0, nil
+	}
+	r := f.rng.Float64()
+	switch {
+	case r < f.cfg.PermanentWriteRate:
+		f.counts[Permanent]++
+		return f.tearBytes(frameLen), &LogError{Op: "append", Kind: Permanent}
+	case r < f.cfg.PermanentWriteRate+f.cfg.TransientWriteRate:
+		f.counts[Transient]++
+		return f.tearBytes(frameLen), &LogError{Op: "append", Kind: Transient}
+	}
+	return 0, nil
+}
+
+// SyncAttempt is consulted before one fsync of the log.
+func (f *Flaky) SyncAttempt() error {
+	f.ops++
+	if !f.flakyArmed() {
+		return nil
+	}
+	if f.rng.Float64() < f.cfg.TransientSyncRate {
+		f.counts[Transient]++
+		return &LogError{Op: "sync", Kind: Transient}
+	}
+	return nil
+}
+
+// tearBytes draws how much of a failed frame write still lands.
+func (f *Flaky) tearBytes(frameLen int) int {
+	if frameLen <= 0 {
+		return 0
+	}
+	return f.rng.Intn(frameLen + 1)
+}
+
+// flakyArmed reports whether the injector is past its After threshold
+// and under its fault budget.
+func (f *Flaky) flakyArmed() bool {
+	if f.ops <= f.cfg.After {
+		return false
+	}
+	return f.cfg.MaxFaults == 0 || f.Injected() < f.cfg.MaxFaults
+}
+
+// Injected returns the number of faults injected so far.
+func (f *Flaky) Injected() int {
+	n := 0
+	for _, c := range f.counts {
+		n += c
+	}
+	return n
+}
+
+// Counts returns a copy of the per-kind injection counters.
+func (f *Flaky) Counts() map[Kind]int {
+	out := make(map[Kind]int, len(f.counts))
+	for k, v := range f.counts {
+		out[k] = v
+	}
+	return out
+}
+
+// Ops returns the number of attempts intercepted so far.
+func (f *Flaky) Ops() int { return f.ops }

@@ -49,6 +49,8 @@ var Deterministic = map[string]bool{
 	"spatialanon/internal/retry":     true,
 	"spatialanon/internal/wal":       true,
 	"spatialanon/internal/serve":     true,
+	"spatialanon/internal/fault":     true,
+	"spatialanon/internal/pager":     true,
 }
 
 // Analyzer flags the three nondeterminism sources. It carries no

@@ -429,6 +429,33 @@ func (p *Pager) Scrub() ([]PageID, error) {
 	return repaired, nil
 }
 
+// VerifyPages checks every at-rest page against its sealed checksum
+// without repairing anything, returning the IDs that fail in ascending
+// order alongside the number of pages scanned. Unlike Scrub it never
+// rewrites bytes: a caller that owns redundancy for its pages (a
+// checkpoint manifest plus a WAL, a replica) detects rot here and
+// repairs from the authoritative copy instead of accepting the rotted
+// bytes as truth. The scan reads the disk directly — buffer-pool
+// residency and the fault policy are bypassed, like FlipBit and Scrub —
+// so it sees exactly what a reopening process would.
+func (p *Pager) VerifyPages() (scanned int, corrupt []PageID, err error) {
+	ids, err := p.disk.IDs()
+	if err != nil {
+		return 0, nil, err
+	}
+	for _, id := range ids {
+		data, sum, err := p.disk.ReadPage(id)
+		if err != nil {
+			return scanned, corrupt, err
+		}
+		scanned++
+		if got := crc32.Checksum(data, crcTable); got != sum {
+			corrupt = append(corrupt, id)
+		}
+	}
+	return scanned, corrupt, nil
+}
+
 // fetch returns the frame for id, reading it from disk if necessary and
 // evicting an unpinned page if the pool is full.
 func (p *Pager) fetch(id PageID) (*frame, error) {

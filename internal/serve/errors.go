@@ -1,0 +1,63 @@
+package serve
+
+import "errors"
+
+// The serving layer's typed error taxonomy. Every rejection a
+// submitter can see wraps exactly one of these sentinels, so callers
+// branch with errors.Is instead of string matching, and load
+// generators can bucket shed traffic by class.
+var (
+	// ErrOverloaded rejects a submission because the bounded queue is
+	// full: admission control's answer to a slow fsync, instead of
+	// unbounded blocking. The write was NOT accepted; retry later.
+	ErrOverloaded = errors.New("serve: overloaded")
+
+	// ErrDeadlineExceeded rejects a submission that waited in the queue
+	// longer than its deadline (measured in group-commit ticks, not
+	// wall clock, so schedules replay deterministically). The write was
+	// NOT committed.
+	ErrDeadlineExceeded = errors.New("serve: deadline exceeded")
+
+	// ErrDegraded marks the degraded-readonly circuit state: the store
+	// under the server is poisoned, writes are refused, reads keep
+	// serving the last audited epoch. Degraded errors wrap both this
+	// sentinel and the poisoning cause (which itself wraps
+	// wal.ErrPoisoned), so errors.Is matches either layer.
+	ErrDegraded = errors.New("serve: degraded to read-only")
+
+	// ErrRecovering rejects work that arrived while Server.Recover was
+	// rebuilding the store: in-flight submissions are drained with this
+	// error rather than parked on an uncertain outcome.
+	ErrRecovering = errors.New("serve: recovering")
+
+	// ErrClosed rejects work submitted after Close.
+	ErrClosed = errors.New("serve: server is closed")
+)
+
+// State is the serving layer's circuit-breaker state.
+type State int32
+
+const (
+	// StateHealthy accepts writes and serves reads.
+	StateHealthy State = iota
+	// StateDegraded refuses writes (the store is poisoned) but keeps
+	// serving reads from the last audited published epoch.
+	StateDegraded
+	// StateRecovering is the transient state while Server.Recover
+	// rebuilds the store; writes are refused, reads still serve the
+	// last audited epoch.
+	StateRecovering
+)
+
+// String implements fmt.Stringer.
+func (s State) String() string {
+	switch s {
+	case StateHealthy:
+		return "healthy"
+	case StateDegraded:
+		return "degraded"
+	case StateRecovering:
+		return "recovering"
+	}
+	return "unknown"
+}

@@ -36,6 +36,20 @@
 //     k-anonymity and Lemma-1 k-boundness checks) once per epoch,
 //     before first use.
 //
+//   - Graceful degradation and self-healing. Admission control bounds
+//     the submission queue (ErrOverloaded instead of unbounded
+//     blocking) and expires submissions by group-commit ticks
+//     (ErrDeadlineExceeded). Transient store faults are absorbed by
+//     retrying the whole batch — safe because a failed append rolls
+//     the log back and leaves seq untouched. A fault that poisons the
+//     store trips a circuit breaker: healthy → degraded-readonly
+//     (reads keep serving the last audited epoch; writes get typed
+//     errors) → recovering (Server.Recover re-runs the audited
+//     committed-prefix recovery on the committer goroutine) → healthy
+//     again, all in-process. A background scrubber walks the pager
+//     pages between batches, quarantining rot and rewriting the live
+//     checkpoint from the audited tree before the rot is ever needed.
+//
 // The store itself stays single-goroutine: only the committer touches
 // it (and, through it, the pager), which is the same coordinator
 // confinement discipline the parallel loaders follow.
@@ -48,6 +62,7 @@ import (
 	"sync/atomic"
 
 	"spatialanon/internal/attr"
+	"spatialanon/internal/retry"
 	"spatialanon/internal/rplustree"
 	"spatialanon/internal/wal"
 )
@@ -66,6 +81,27 @@ type Options struct {
 	// 0 = all cores, 1 = serial. Output is identical for every
 	// setting (core.LeafScanP's contract).
 	Parallelism int
+	// QueueDepth bounds the submission queue. A full queue rejects with
+	// ErrOverloaded instead of blocking, so a slow fsync can never
+	// wedge every caller and queue memory is bounded by construction.
+	// Default 4×MaxBatch.
+	QueueDepth int
+	// DeadlineTicks expires a queued submission that has waited through
+	// more than this many group commits, rejecting it with
+	// ErrDeadlineExceeded at dequeue. The clock is the commit tick, not
+	// wall time, so expiry is deterministic for a given interleaving.
+	// 0 disables deadlines.
+	DeadlineTicks int
+	// Retry bounds committer-side retries of a whole group commit after
+	// a transient store fault (the store's own writer retries
+	// per-attempt first; this is the outer loop). Only errors that leave
+	// the store healthy — seq unadvanced, log rolled back — are retried,
+	// so a retry can never double-commit. Zero value means a single try.
+	Retry retry.Policy
+	// ScrubEvery runs a background scrub of the store's pages every N
+	// group commits, on the committer between batches. 0 disables
+	// scrubbing.
+	ScrubEvery int
 }
 
 func (o Options) withDefaults() Options {
@@ -74,6 +110,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.PublishEvery <= 0 {
 		o.PublishEvery = 1
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 4 * o.MaxBatch
 	}
 	return o
 }
@@ -89,6 +128,23 @@ type Stats struct {
 	MaxBatch int64
 	// Epoch is the current published epoch.
 	Epoch uint64
+	// State is the circuit-breaker state at the time of the call.
+	State State
+	// Shed counts submissions rejected with ErrOverloaded.
+	Shed int64
+	// Expired counts submissions rejected with ErrDeadlineExceeded.
+	Expired int64
+	// Retries counts extra group-commit attempts spent absorbing
+	// transient store faults (0 when every batch committed first try).
+	Retries int64
+	// Recoveries counts successful Server.Recover resurrections.
+	Recoveries int64
+	// ScrubScans, ScrubCorrupt and ScrubRepaired count background scrub
+	// passes, corrupt pages detected, and pages repaired (quarantined or
+	// rewritten from the live tree).
+	ScrubScans    int64
+	ScrubCorrupt  int64
+	ScrubRepaired int64
 }
 
 // result is what a blocked submitter receives when its batch commits.
@@ -97,10 +153,19 @@ type result struct {
 	err   error
 }
 
-// request is one queued mutation and its completion channel.
+// request is one queued mutation and its completion channel. tick is
+// the commit tick at enqueue; the committer compares it against the
+// current tick at dequeue to expire submissions that waited too long.
 type request struct {
 	op   wal.Op
 	done chan result
+	tick uint64
+}
+
+// recoverReq asks the committer to run a recovery on its own
+// goroutine, preserving the store's single-goroutine confinement.
+type recoverReq struct {
+	done chan error
 }
 
 // Server is the concurrent front end. Create one with New, mutate
@@ -116,27 +181,42 @@ type Server struct {
 	// anonylint:k-validated.
 	baseK int
 
-	reqCh chan *request
-	done  chan struct{}
+	reqCh     chan *request
+	recoverCh chan *recoverReq
+	done      chan struct{}
 
 	mu     sync.RWMutex // guards closed (submit send vs Close)
 	closed bool
 
 	cur    atomic.Pointer[View]
 	failed atomic.Pointer[poison]
+	state  atomic.Int32 // State; the circuit-breaker position
+	// tick is the group-commit clock: one increment per committed (or
+	// degraded-drained) batch. Deadlines are measured against it, so
+	// "too slow" is a deterministic property of the interleaving, never
+	// of wall time (detrand-safe).
+	tick atomic.Uint64
 
 	// Committer-owned state (no locks: single goroutine).
 	epoch        uint64
 	sincePublish int
+	sinceScrub   int
 	opsBuf       []wal.Op
 	// prevSnap is the previous publish's leaf snapshot — the
 	// copy-on-write baseline the next SnapshotLeaves call diffs
 	// against.
 	prevSnap []rplustree.LeafView
 
-	ops      atomic.Int64
-	batches  atomic.Int64
-	maxBatch atomic.Int64
+	ops           atomic.Int64
+	batches       atomic.Int64
+	maxBatch      atomic.Int64
+	shed          atomic.Int64
+	expired       atomic.Int64
+	retries       atomic.Int64
+	recoveries    atomic.Int64
+	scrubScans    atomic.Int64
+	scrubCorrupt  atomic.Int64
+	scrubRepaired atomic.Int64
 }
 
 // poison boxes the error that stopped the serving layer (an epoch
@@ -157,12 +237,13 @@ func New(st *wal.Store, opts Options) (*Server, error) {
 	opts = opts.withDefaults()
 	cfg := st.Tree().Config()
 	s := &Server{
-		st:    st,
-		opts:  opts,
-		dims:  cfg.Schema.Dims(),
-		baseK: cfg.BaseK,
-		reqCh: make(chan *request, opts.MaxBatch),
-		done:  make(chan struct{}),
+		st:        st,
+		opts:      opts,
+		dims:      cfg.Schema.Dims(),
+		baseK:     cfg.BaseK,
+		reqCh:     make(chan *request, opts.QueueDepth),
+		recoverCh: make(chan *recoverReq),
+		done:      make(chan struct{}),
 	}
 	s.publish()
 	go s.commitLoop()
@@ -188,25 +269,54 @@ func (s *Server) Update(id int64, oldQI []float64, rec attr.Record) (bool, error
 }
 
 // submit validates on the calling goroutine (a bad op must fail its
-// own caller, never the batch it would have shared), enqueues, and
-// blocks for the commit result.
+// own caller, never the batch it would have shared), applies
+// admission control, enqueues WITHOUT blocking, and waits for the
+// commit result. The non-blocking enqueue is the load-shedding point:
+// a full queue means the committer is behind (a slow fsync, a burst),
+// and the honest answer is an immediate typed ErrOverloaded the
+// caller can retry, not an unbounded line of parked goroutines.
 func (s *Server) submit(op wal.Op) (bool, error) {
 	if err := wal.ValidateOp(s.dims, op); err != nil {
 		return false, err
 	}
-	if p := s.failed.Load(); p != nil {
-		return false, p.err
+	if err := s.admit(); err != nil {
+		return false, err
 	}
-	r := &request{op: op, done: make(chan result, 1)}
+	r := &request{op: op, done: make(chan result, 1), tick: s.tick.Load()}
 	s.mu.RLock()
 	if s.closed {
 		s.mu.RUnlock()
-		return false, fmt.Errorf("serve: server is closed")
+		return false, ErrClosed
 	}
-	s.reqCh <- r
-	s.mu.RUnlock()
+	select {
+	case s.reqCh <- r:
+		s.mu.RUnlock()
+	default:
+		s.mu.RUnlock()
+		s.shed.Add(1)
+		return false, ErrOverloaded
+	}
 	res := <-r.done
 	return res.found, res.err
+}
+
+// admit is the write-side circuit breaker: degraded and recovering
+// states refuse new mutations up front with their typed errors.
+// Reads are never gated — they go through the published View.
+func (s *Server) admit() error {
+	switch State(s.state.Load()) {
+	case StateRecovering:
+		return ErrRecovering
+	case StateDegraded:
+		if p := s.failed.Load(); p != nil {
+			return p.err
+		}
+		return ErrDegraded
+	}
+	if p := s.failed.Load(); p != nil {
+		return p.err
+	}
+	return nil
 }
 
 // commitLoop is the committer: the one goroutine that touches the
@@ -218,7 +328,14 @@ func (s *Server) commitLoop() {
 	defer close(s.done)
 	batch := make([]*request, 0, s.opts.MaxBatch)
 	for {
-		r, ok := <-s.reqCh
+		var r *request
+		var ok bool
+		select {
+		case rr := <-s.recoverCh:
+			s.doRecover(rr)
+			continue
+		case r, ok = <-s.reqCh:
+		}
 		if !ok {
 			break
 		}
@@ -238,9 +355,11 @@ func (s *Server) commitLoop() {
 			}
 		}
 		s.commit(batch)
+		s.tick.Add(1)
 		if chClosed {
 			break
 		}
+		s.maybeScrub()
 		// Yield once so the submitters just woken by the acks get to
 		// re-enqueue before the next drain: without this, on a loaded
 		// machine the committer can win the race back to reqCh every
@@ -257,16 +376,63 @@ func (s *Server) commitLoop() {
 // next epoch if one is due, then wakes the submitters. Publishing
 // before acknowledging gives read-your-writes at PublishEvery=1: by
 // the time a caller unblocks, the current View reflects its write.
+//
+// Failure handling, in order: a degraded server drains the batch with
+// the degraded error without touching the store; expired submissions
+// are rejected before the store sees them; a transient store fault —
+// which by the store's contract left seq unadvanced and the log
+// rolled back — is retried whole under Options.Retry; a fault that
+// poisoned the store trips the breaker to degraded-readonly.
 func (s *Server) commit(batch []*request) {
+	if p := s.failed.Load(); p != nil {
+		for _, r := range batch {
+			r.done <- result{err: p.err}
+		}
+		return
+	}
 	s.opsBuf = s.opsBuf[:0]
-	for _, r := range batch {
+	live := batch[:0]
+	if s.opts.DeadlineTicks > 0 {
+		now := s.tick.Load()
+		for _, r := range batch {
+			if now-r.tick > uint64(s.opts.DeadlineTicks) {
+				s.expired.Add(1)
+				r.done <- result{err: ErrDeadlineExceeded}
+				continue
+			}
+			live = append(live, r)
+		}
+		if len(live) == 0 {
+			return
+		}
+	} else {
+		live = batch
+	}
+	for _, r := range live {
 		s.opsBuf = append(s.opsBuf, r.op)
 	}
-	found, err := s.st.ApplyBatch(s.opsBuf)
+	var found []bool
+	attempt := 0
+	err := s.opts.Retry.Do(func() error {
+		attempt++
+		if attempt > 1 {
+			if s.st.Err() != nil {
+				// Backstop: never re-apply a batch into a store whose
+				// state is uncertain (retry.Do won't retry a poisoned
+				// error — it is not transient — but the invariant is
+				// load-bearing enough to enforce locally too).
+				return s.st.Err()
+			}
+			s.retries.Add(1)
+		}
+		var aerr error
+		found, aerr = s.st.ApplyBatch(s.opsBuf)
+		return aerr
+	})
 	if err == nil {
-		s.ops.Add(int64(len(batch)))
+		s.ops.Add(int64(len(live)))
 		s.batches.Add(1)
-		if n := int64(len(batch)); n > s.maxBatch.Load() {
+		if n := int64(len(live)); n > s.maxBatch.Load() {
 			s.maxBatch.Store(n)
 		}
 		s.sincePublish++
@@ -274,10 +440,20 @@ func (s *Server) commit(batch []*request) {
 			s.publish()
 			s.sincePublish = 0
 		}
-	} else {
-		s.failed.Store(&poison{err})
+	} else if s.st.Err() != nil {
+		// The store is poisoned: trip the breaker. Readers keep the
+		// last audited epoch; writers get the typed degraded error
+		// until a Recover succeeds.
+		s.degrade(err)
+		if p := s.failed.Load(); p != nil {
+			err = p.err
+		}
 	}
-	for i, r := range batch {
+	// A transient error that exhausted retries while the store stayed
+	// healthy falls through here: this batch's callers fail with the
+	// transient error (their writes did NOT happen and may be resubmitted),
+	// and the server keeps serving.
+	for i, r := range live {
 		res := result{err: err}
 		if err == nil {
 			res.found = found[i]
@@ -285,6 +461,126 @@ func (s *Server) commit(batch []*request) {
 		r.done <- res
 	}
 }
+
+// degrade trips the circuit breaker: record the cause (wrapping
+// ErrDegraded, with the store's ErrPoisoned chain inside) and enter
+// degraded-readonly.
+func (s *Server) degrade(cause error) {
+	s.failed.Store(&poison{fmt.Errorf("%w: %w", ErrDegraded, cause)})
+	s.state.Store(int32(StateDegraded))
+}
+
+// maybeScrub runs the background scrubber when its budget is due:
+// committer-only, between batches, so it shares the store safely with
+// the write path. Scrub findings are repaired by the store (rotten
+// garbage pages quarantined, live checkpoint rewritten from the
+// audited tree); a scrub that poisons the store trips the breaker
+// like any other store failure.
+func (s *Server) maybeScrub() {
+	if s.opts.ScrubEvery <= 0 || s.failed.Load() != nil {
+		return
+	}
+	s.sinceScrub++
+	if s.sinceScrub < s.opts.ScrubEvery {
+		return
+	}
+	s.sinceScrub = 0
+	rep, err := s.st.Scrub()
+	s.scrubScans.Add(1)
+	s.scrubCorrupt.Add(int64(len(rep.Corrupt)))
+	if err == nil {
+		// Every corrupt page found was repaired: freed if garbage,
+		// rewritten from the live tree if part of the checkpoint.
+		s.scrubRepaired.Add(int64(len(rep.Corrupt)))
+		return
+	}
+	s.scrubRepaired.Add(int64(rep.Freed))
+	if s.st.Err() != nil {
+		s.degrade(err)
+	}
+}
+
+// doRecover runs on the committer goroutine: it owns the store, so
+// recovery routes through it like every other store access. Queued
+// submissions are drained with ErrRecovering — they were admitted
+// before the breaker tripped and must not wait on an uncertain
+// outcome — then the store is rebuilt and, on success, a fresh epoch
+// is published before writes reopen.
+func (s *Server) doRecover(rr *recoverReq) {
+	if s.failed.Load() == nil {
+		rr.done <- nil // healthy; nothing to recover
+		return
+	}
+	s.state.Store(int32(StateRecovering))
+	s.drainQueued(ErrRecovering)
+	err := s.st.Recover()
+	if err != nil {
+		// Still down: back to degraded-readonly on the last audited
+		// epoch. The original poison stays as the cause.
+		s.state.Store(int32(StateDegraded))
+		rr.done <- err
+		return
+	}
+	// The store recovered through the full audited reopen path. The
+	// old copy-on-write baseline belongs to the pre-recovery tree, so
+	// the next publish must snapshot from scratch.
+	s.prevSnap = nil
+	s.sincePublish = 0
+	s.publish()
+	s.failed.Store(nil)
+	s.recoveries.Add(1)
+	s.state.Store(int32(StateHealthy))
+	rr.done <- nil
+}
+
+// drainQueued empties the submission queue, failing every queued
+// request with err.
+func (s *Server) drainQueued(err error) {
+	for {
+		select {
+		case r, ok := <-s.reqCh:
+			if !ok {
+				return
+			}
+			r.done <- result{err: err}
+		default:
+			return
+		}
+	}
+}
+
+// Recover asks the committer to resurrect a degraded server in
+// place: re-run the store's committed-prefix recovery and audit, and
+// on success republish a fresh epoch and reopen writes. Safe from any
+// goroutine; returns nil when the server is healthy afterwards (a
+// no-op on an already-healthy server), the recovery failure when the
+// store stayed down (the server remains degraded-readonly), or
+// ErrClosed.
+func (s *Server) Recover() error {
+	rr := &recoverReq{done: make(chan error, 1)}
+	select {
+	case s.recoverCh <- rr:
+	case <-s.done:
+		return ErrClosed
+	}
+	select {
+	case err := <-rr.done:
+		return err
+	case <-s.done:
+		// The committer exited while we waited; it replies before
+		// exiting if it took the request, so prefer a queued verdict.
+		select {
+		case err := <-rr.done:
+			return err
+		default:
+			return ErrClosed
+		}
+	}
+}
+
+// State reports the circuit-breaker position; safe from any
+// goroutine.
+func (s *Server) State() State { return State(s.state.Load()) }
 
 // View returns the current published epoch's immutable view. The
 // returned View never changes; load it once per logical read to get
@@ -302,10 +598,18 @@ func (s *Server) Release(k1 int) ([]Partition, error) {
 // Stats reports serving counters; safe from any goroutine.
 func (s *Server) Stats() Stats {
 	return Stats{
-		Ops:      s.ops.Load(),
-		Batches:  s.batches.Load(),
-		MaxBatch: s.maxBatch.Load(),
-		Epoch:    s.cur.Load().Epoch(),
+		Ops:           s.ops.Load(),
+		Batches:       s.batches.Load(),
+		MaxBatch:      s.maxBatch.Load(),
+		Epoch:         s.cur.Load().Epoch(),
+		State:         State(s.state.Load()),
+		Shed:          s.shed.Load(),
+		Expired:       s.expired.Load(),
+		Retries:       s.retries.Load(),
+		Recoveries:    s.recoveries.Load(),
+		ScrubScans:    s.scrubScans.Load(),
+		ScrubCorrupt:  s.scrubCorrupt.Load(),
+		ScrubRepaired: s.scrubRepaired.Load(),
 	}
 }
 

@@ -1,0 +1,321 @@
+package wal
+
+import (
+	"errors"
+	"testing"
+
+	"spatialanon/internal/fault"
+	"spatialanon/internal/retry"
+	"spatialanon/internal/verify"
+)
+
+// TestWriterAbsorbsFlakyFaults: injected transient write and fsync
+// faults — including torn partial writes — must be absorbed by the
+// writer's retry loop, leaving a clean, fully committed log.
+func TestWriterAbsorbsFlakyFaults(t *testing.T) {
+	opts := testOpts(t, 3)
+	opts.Retry = retry.Policy{Attempts: 8}
+	opts.AppendFault = fault.NewFlaky(7, fault.FlakyConfig{
+		TransientWriteRate: 0.3,
+		TransientSyncRate:  0.2,
+	})
+	st, err := Create(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := makeRecords(opts.Tree.Schema, 60, 7)
+	for _, r := range recs {
+		if err := st.Insert(r); err != nil {
+			t.Fatalf("insert under flaky device: %v", err)
+		}
+	}
+	if err := st.Err(); err != nil {
+		t.Fatalf("store poisoned by transient faults: %v", err)
+	}
+	before := storeRecords(st)
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	opts.AppendFault = nil
+	st2, err := Open(opts)
+	if err != nil {
+		t.Fatalf("reopen after flaky run: %v", err)
+	}
+	defer st2.Close()
+	if err := sameRecords(before, storeRecords(st2)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStoreSurvivesTransientExhaustion: when even the retry budget is
+// exhausted by transient faults, the failed operation must leave the
+// store serviceable — log rolled back, seq unadvanced — so the SAME
+// operation can simply be resubmitted once the device recovers.
+func TestStoreSurvivesTransientExhaustion(t *testing.T) {
+	opts := testOpts(t, 3)
+	// One attempt, and the first armed write attempt fails: the insert
+	// fails without any retry absorbing it. After skips Create's own
+	// manifest append (one write, one sync).
+	fl := fault.NewFlaky(11, fault.FlakyConfig{TransientWriteRate: 1, After: 2, MaxFaults: 1})
+	opts.AppendFault = fl
+	st, err := Create(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	recs := makeRecords(opts.Tree.Schema, 2, 11)
+	seq := st.Seq()
+	err = st.Insert(recs[0])
+	if err == nil {
+		t.Fatal("insert succeeded through an unretried transient fault")
+	}
+	if !retry.IsTransient(err) {
+		t.Fatalf("error lost its transient marker: %v", err)
+	}
+	if st.Err() != nil {
+		t.Fatalf("transient fault poisoned the store: %v", st.Err())
+	}
+	if st.Seq() != seq {
+		t.Fatalf("failed insert advanced seq %d -> %d", seq, st.Seq())
+	}
+	// The fault budget is spent; the resubmission must land.
+	if err := st.Insert(recs[0]); err != nil {
+		t.Fatalf("resubmit after transient fault: %v", err)
+	}
+	if st.Seq() != seq+1 {
+		t.Fatalf("seq %d after one committed insert, want %d", st.Seq(), seq+1)
+	}
+}
+
+// TestStorePoisonWrapsSentinel: a permanent device fault must poison
+// the store with an error chain that matches ErrPoisoned, is not
+// transient, and still names the underlying fault.
+func TestStorePoisonWrapsSentinel(t *testing.T) {
+	opts := testOpts(t, 3)
+	opts.AppendFault = fault.NewFlaky(13, fault.FlakyConfig{PermanentWriteRate: 1, After: 2, MaxFaults: 1})
+	st, err := Create(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	recs := makeRecords(opts.Tree.Schema, 2, 13)
+	err = st.Insert(recs[0])
+	if err == nil {
+		t.Fatal("insert succeeded through a permanent fault")
+	}
+	if !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("poisoning error does not match ErrPoisoned: %v", err)
+	}
+	if !errors.Is(st.Err(), ErrPoisoned) {
+		t.Fatalf("Err() does not match ErrPoisoned: %v", st.Err())
+	}
+	if retry.IsTransient(st.Err()) {
+		t.Fatalf("permanent poison reads as transient: %v", st.Err())
+	}
+	var le *fault.LogError
+	if !errors.As(st.Err(), &le) || le.Kind != fault.Permanent {
+		t.Fatalf("underlying fault lost from the chain: %v", st.Err())
+	}
+	// Poisoned stores refuse everything with the same chain.
+	if _, err := st.Release(0); !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("release from poisoned store: %v", err)
+	}
+}
+
+// TestStoreRecoverFromPoison: a store poisoned by a permanent append
+// fault resurrects in place — committed-prefix recovery, full audit —
+// and serves writes again, having lost only the unacknowledged
+// operation that hit the fault.
+func TestStoreRecoverFromPoison(t *testing.T) {
+	opts := testOpts(t, 3)
+	// The fault arms late enough that some inserts commit first, and
+	// its budget is one: after the poison, the device is healthy.
+	opts.AppendFault = fault.NewFlaky(17, fault.FlakyConfig{PermanentWriteRate: 1, After: 10, MaxFaults: 1})
+	st, err := Create(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	recs := makeRecords(opts.Tree.Schema, 40, 17)
+	var acked []int64
+	var poisoned bool
+	for _, r := range recs {
+		if err := st.Insert(r); err != nil {
+			if !errors.Is(err, ErrPoisoned) {
+				t.Fatalf("unexpected insert failure: %v", err)
+			}
+			poisoned = true
+			break
+		}
+		acked = append(acked, r.ID)
+	}
+	if !poisoned {
+		t.Fatal("fault schedule never fired")
+	}
+	if err := st.Recover(); err != nil {
+		t.Fatalf("resurrection: %v", err)
+	}
+	if st.Err() != nil {
+		t.Fatalf("store still poisoned after Recover: %v", st.Err())
+	}
+	got := storeRecords(st)
+	for _, id := range acked {
+		if _, ok := got[id]; !ok {
+			t.Fatalf("acknowledged record %d lost across resurrection", id)
+		}
+	}
+	if len(got) != len(acked) {
+		t.Fatalf("store holds %d records, %d were acknowledged", len(got), len(acked))
+	}
+	// Writes work again, and the result still audits.
+	if err := st.Insert(recs[len(recs)-1]); err != nil {
+		t.Fatalf("insert after resurrection: %v", err)
+	}
+	if err := verify.Tree(st.Tree(), verify.TreeOptions{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStoreRecoverSalvagesRottenCheckpoint: when bit rot lands in a
+// live checkpoint page, the durable image alone is unrecoverable —
+// but the live audited tree equals checkpoint+log by construction, so
+// Recover reseeds the image from it and comes back clean.
+func TestStoreRecoverSalvagesRottenCheckpoint(t *testing.T) {
+	opts := testOpts(t, 3)
+	st, err := Create(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	recs := makeRecords(opts.Tree.Schema, 30, 19)
+	for _, r := range recs {
+		if err := st.Insert(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	before := storeRecords(st)
+	pages := st.SnapshotPages()
+	if len(pages) == 0 {
+		t.Fatal("no live checkpoint pages")
+	}
+	if err := st.FlipBit(pages[0], 12); err != nil {
+		t.Fatal(err)
+	}
+	// A plain reopen of this image would fail on the rotted page; the
+	// in-place Recover must fall back to reseeding from the live tree.
+	if err := st.Recover(); err != nil {
+		t.Fatalf("salvage resurrection: %v", err)
+	}
+	if err := sameRecords(before, storeRecords(st)); err != nil {
+		t.Fatal(err)
+	}
+	// The reseeded image must now survive a real process restart.
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := Open(opts)
+	if err != nil {
+		t.Fatalf("reopen of reseeded image: %v", err)
+	}
+	defer st2.Close()
+	if err := sameRecords(before, storeRecords(st2)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStoreScrubRepairsLiveRot: the scrubber must detect a
+// bit-flipped live checkpoint page at rest and repair it by rewriting
+// the checkpoint from the audited tree — before any reopen needs the
+// rotted page.
+func TestStoreScrubRepairsLiveRot(t *testing.T) {
+	opts := testOpts(t, 3)
+	st, err := Create(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	recs := makeRecords(opts.Tree.Schema, 30, 23)
+	for _, r := range recs {
+		if err := st.Insert(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := st.Scrub()
+	if err != nil || len(rep.Corrupt) != 0 {
+		t.Fatalf("clean store scrub: %+v, %v", rep, err)
+	}
+	pages := st.SnapshotPages()
+	if err := st.FlipBit(pages[0], 5); err != nil {
+		t.Fatal(err)
+	}
+	rep, err = st.Scrub()
+	if err != nil {
+		t.Fatalf("scrub of rotted store: %v", err)
+	}
+	if len(rep.Corrupt) != 1 || rep.Corrupt[0] != pages[0] || !rep.Rewritten {
+		t.Fatalf("scrub report %+v, want page %d detected and rewritten", rep, pages[0])
+	}
+	rep, err = st.Scrub()
+	if err != nil || len(rep.Corrupt) != 0 {
+		t.Fatalf("scrub after repair still dirty: %+v, %v", rep, err)
+	}
+	// The repaired image reopens cleanly.
+	before := storeRecords(st)
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := Open(opts)
+	if err != nil {
+		t.Fatalf("reopen after scrub repair: %v", err)
+	}
+	defer st2.Close()
+	if err := sameRecords(before, storeRecords(st2)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStoreScrubQuarantinesGarbage: a rotten page OUTSIDE the live
+// checkpoint is residue (an aborted checkpoint, a crash); the
+// scrubber frees it instead of rewriting anything.
+func TestStoreScrubQuarantinesGarbage(t *testing.T) {
+	opts := testOpts(t, 3)
+	st, err := Create(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	recs := makeRecords(opts.Tree.Schema, 12, 29)
+	for _, r := range recs {
+		if err := st.Insert(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Fabricate checkpoint residue: an allocated, flushed page no
+	// manifest references, then rot it.
+	id, _, err := st.pg.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.pg.Unpin(id); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.pg.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.FlipBit(id, 3); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := st.Scrub()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Corrupt) != 1 || rep.Corrupt[0] != id || rep.Freed != 1 || rep.Rewritten {
+		t.Fatalf("scrub report %+v, want page %d quarantined without a rewrite", rep, id)
+	}
+}

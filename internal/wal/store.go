@@ -51,6 +51,9 @@ type Options struct {
 	// Retry bounds transient-fault retries of log writes. Zero value
 	// means a single try.
 	Retry retry.Policy
+	// AppendFault, when non-nil, injects per-attempt write/fsync faults
+	// into the log appender (*fault.Flaky implements it).
+	AppendFault AppendFault
 }
 
 func (o Options) withDefaults() Options {
@@ -104,6 +107,10 @@ type Store struct {
 	recovery  RecoveryStats
 	audited   bool
 	dead      error
+	// divergent records that the live tree no longer matches the
+	// committed log (an applyLive failure). Recover must then rebuild
+	// from disk; the in-memory tree has forfeited its authority.
+	divergent bool
 }
 
 // Create initializes a new store in opts.Dir (created if absent). The
@@ -187,7 +194,7 @@ func Open(opts Options) (*Store, error) {
 			return nil, err
 		}
 	}
-	w, err := openWriter(logPath, opts.Crash, opts.NoSync, opts.Retry)
+	w, err := openWriter(logPath, opts.Crash, opts.NoSync, opts.Retry, opts.AppendFault)
 	if err != nil {
 		pg.Close()
 		return nil, err
@@ -219,10 +226,17 @@ func (s *Store) recover(img []byte) error {
 	}
 	m := rec.Manifest
 
-	// Load the snapshot from its checksummed pages.
+	// Load the snapshot from its checksummed pages. Each read runs
+	// under the store's retry policy: a transient device fault during
+	// resurrection must not condemn an otherwise intact image.
 	snap := make([]byte, 0, int(m.SnapLen))
 	for _, id := range m.Pages {
-		data, err := s.pg.Read(id)
+		var data []byte
+		err := s.opts.Retry.Do(func() error {
+			var rerr error
+			data, rerr = s.pg.Read(id)
+			return rerr
+		})
 		if err != nil {
 			return fmt.Errorf("wal: checkpoint page %d: %w", id, err)
 		}
@@ -376,9 +390,12 @@ func partitionsFromLeaves(leaves []rplustree.LeafView) []anonmodel.Partition {
 }
 
 // die poisons the store after a crash or unrecoverable append error.
+// The poisoning error wraps ErrPoisoned and the cause, so errors.Is
+// matches the sentinel while IsCrash / retry.IsTransient still see
+// the original fault through the chain.
 func (s *Store) die(err error) {
 	if s.dead == nil {
-		s.dead = err
+		s.dead = fmt.Errorf("%w: %w", ErrPoisoned, err)
 	}
 }
 
@@ -433,6 +450,7 @@ func ValidateOp(dims int, op Op) error {
 // unreachable for well-formed stores; it is the backstop.
 func (s *Store) applyLive(op func() error) error {
 	if err := op(); err != nil {
+		s.divergent = true
 		s.die(fmt.Errorf("wal: tree diverged from committed log: %w", err))
 		return s.dead
 	}
@@ -440,14 +458,21 @@ func (s *Store) applyLive(op func() error) error {
 }
 
 // log appends one framed record durably; the operation is committed
-// iff this returns nil.
+// iff this returns nil. A transient append failure whose rollback
+// succeeded leaves the log clean and the store's seq/tree untouched —
+// the store SURVIVES it, and the caller may retry the whole operation
+// later. Only a dead writer (crash, failed rollback) or a
+// non-transient fault poisons the store.
 func (s *Store) log(r Record) error {
 	payload, err := Encode(r)
 	if err != nil {
 		return err
 	}
 	if err := s.w.Append(payload); err != nil {
-		s.die(err)
+		if s.w.Err() != nil || !retry.IsTransient(err) {
+			s.die(err)
+			return s.dead
+		}
 		return err
 	}
 	return nil
@@ -569,26 +594,46 @@ func (s *Store) ApplyBatch(ops []Op) ([]bool, error) {
 }
 
 // maybeCheckpoint runs an automatic checkpoint when the configured
-// operation budget since the last one is spent.
+// operation budget since the last one is spent. A transiently aborted
+// checkpoint is swallowed: the operation that triggered it has
+// already committed, sinceCkpt keeps growing, so the very next
+// operation triggers the checkpoint again. Swallowing it here is what
+// lets callers treat any transient error from Insert/ApplyBatch as
+// "the operation did not happen" and retry the whole operation —
+// which would double-commit if a committed-but-unpointed batch could
+// surface a transient error.
 func (s *Store) maybeCheckpoint() error {
 	if s.opts.CheckpointEvery <= 0 || s.sinceCkpt < s.opts.CheckpointEvery {
 		return nil
 	}
-	return s.Checkpoint()
+	if err := s.Checkpoint(); err != nil {
+		if s.dead == nil && retry.IsTransient(err) {
+			return nil
+		}
+		return err
+	}
+	return nil
 }
 
 // Checkpoint serializes the tree into pager pages and truncates the
 // log: the new log file holds only the manifest, atomically renamed
-// into place. On any error — including an injected crash — the store
-// is poisoned, and recovery falls back to the previous checkpoint
-// plus the old log, which is intact until the rename.
+// into place. A transient fault with a clean rollback aborts the
+// checkpoint but leaves the store serviceable: the old log and writer
+// are intact until the final rename, the tree is untouched, and pages
+// the aborted attempt allocated are swept as unreferenced by the next
+// recovery. Any other error — including an injected crash — poisons
+// the store, and recovery falls back to the previous checkpoint plus
+// the old log.
 func (s *Store) Checkpoint() error {
 	if s.dead != nil {
 		return s.dead
 	}
 	if err := s.writeCheckpoint(); err != nil {
+		if s.dead == nil && retry.IsTransient(err) && (s.w == nil || s.w.Err() == nil) {
+			return err
+		}
 		s.die(err)
-		return err
+		return s.dead
 	}
 	return nil
 }
@@ -652,7 +697,7 @@ func (s *Store) writeCheckpoint() error {
 	tmpPath := filepath.Join(s.opts.Dir, tmpName)
 	logPath := filepath.Join(s.opts.Dir, logName)
 	os.Remove(tmpPath)
-	w2, err := openWriter(tmpPath, s.opts.Crash, s.opts.NoSync, s.opts.Retry)
+	w2, err := openWriter(tmpPath, s.opts.Crash, s.opts.NoSync, s.opts.Retry, s.opts.AppendFault)
 	if err != nil {
 		return err
 	}
@@ -723,8 +768,182 @@ func (s *Store) Release(k1 int) ([]anonmodel.Partition, error) {
 	return core.LeafScan(base, anonmodel.KAnonymity{K: k1})
 }
 
+// ScrubReport summarizes one scrub pass over the store's pages.
+type ScrubReport struct {
+	// Scanned counts on-disk pages checked against their seals.
+	Scanned int
+	// Corrupt lists the pages whose seal no longer matched their bytes.
+	Corrupt []pager.PageID
+	// Freed counts rotten pages outside the live checkpoint that were
+	// quarantined (freed); they were garbage a crash or an aborted
+	// checkpoint left behind, so nothing is lost.
+	Freed int
+	// Rewritten reports that rot had reached the live checkpoint and the
+	// checkpoint was rewritten from the live tree.
+	Rewritten bool
+}
+
+// Scrub checks every on-disk page against its sealed checksum and
+// repairs what it finds: a rotten page outside the live checkpoint is
+// quarantined (freed — it is residue, not state), and rot inside the
+// live checkpoint triggers a fresh checkpoint from the live tree,
+// which by WAL-before-apply equals the rotted snapshot plus the
+// committed log tail — the repair the rotted page would have needed.
+// Detecting rot at rest here, on a schedule, is what keeps a
+// bit-flipped checkpoint page from lying dormant until the reopen
+// that needs it.
+func (s *Store) Scrub() (ScrubReport, error) {
+	var rep ScrubReport
+	if s.dead != nil {
+		return rep, s.dead
+	}
+	scanned, corrupt, err := s.pg.VerifyPages()
+	rep.Scanned = scanned
+	rep.Corrupt = corrupt
+	if err != nil {
+		return rep, err
+	}
+	if len(corrupt) == 0 {
+		return rep, nil
+	}
+	live := make(map[pager.PageID]bool, len(s.snapPages))
+	for _, id := range s.snapPages {
+		live[id] = true
+	}
+	liveRot := false
+	for _, id := range corrupt {
+		if live[id] {
+			liveRot = true
+			continue
+		}
+		if err := s.pg.Free(id); err != nil {
+			return rep, err
+		}
+		rep.Freed++
+	}
+	if !liveRot {
+		return rep, nil
+	}
+	if !s.audited || s.divergent {
+		// Backstop: with neither a clean durable image nor an
+		// authoritative tree there is nothing to rebuild from.
+		s.die(fmt.Errorf("wal: scrub found rot in the live checkpoint of an unauditable store"))
+		return rep, s.dead
+	}
+	// The live tree is authoritative; rewriting the checkpoint from it
+	// also frees the rotted pages (they belong to the old snapshot).
+	if err := s.Checkpoint(); err != nil {
+		return rep, err
+	}
+	rep.Rewritten = true
+	return rep, nil
+}
+
+// Recover rebuilds a poisoned store in place, without a process
+// restart: close the dead handles, re-run the full committed-prefix
+// recovery against the durable image (exactly what a reopening
+// process would do, audit included), and adopt the fresh state. If
+// the durable image itself is unrecoverable — bit rot in a checkpoint
+// page, say — but the live tree is still authoritative (audited at
+// the last recovery and never diverged from the committed log, so by
+// WAL-before-apply it equals the last checkpoint plus the committed
+// tail), the store reseeds the durable image from the live tree and
+// recovers from that. Returns nil iff the store is serviceable again;
+// on failure the store stays poisoned. Callers owning concurrency
+// (internal/serve) must route this through the same goroutine that
+// owns all other store access.
+func (s *Store) Recover() error {
+	authoritative := s.audited && !s.divergent && s.tree != nil
+	s.closeHandles()
+	fresh, err := Open(s.opts)
+	if err != nil && authoritative {
+		if rerr := s.reseed(); rerr != nil {
+			err = fmt.Errorf("%w; reseed from live tree also failed: %w", err, rerr)
+		} else {
+			fresh, err = Open(s.opts)
+		}
+	}
+	if err != nil {
+		s.die(err) // a first poisoning, if the store was healthy on entry
+		return fmt.Errorf("wal: resurrection failed: %w", err)
+	}
+	s.adopt(fresh)
+	return nil
+}
+
+// closeHandles releases the writer and pager without flushing pooled
+// pages: a poisoned store's pool must not decide what reaches disk,
+// and a healthy store has no dirty pages outside the checkpoint
+// protocol anyway.
+func (s *Store) closeHandles() {
+	if s.w != nil {
+		s.w.Close()
+		s.w = nil
+	}
+	if s.pg != nil {
+		s.pg.CloseNoFlush()
+		s.pg = nil
+	}
+}
+
+// reseed rebuilds the durable image — pages.db and a manifest-only
+// wal.log — from the live tree. Only called when the tree is
+// authoritative; the rebuilt image is then handed to Open for the
+// real audited recovery. CreateDiskFile truncates, so whatever rot
+// the old image held is gone.
+func (s *Store) reseed() error {
+	d, err := pager.CreateDiskFile(filepath.Join(s.opts.Dir, pagesName), s.opts.PageSize)
+	if err != nil {
+		return err
+	}
+	pg, err := pager.NewWithDisk(s.opts.PageSize, s.opts.PoolPages, d)
+	if err != nil {
+		d.Close()
+		return err
+	}
+	pg.SetFaultPolicy(s.opts.PagerFault)
+	s.pg = pg
+	s.snapPages = nil // the old IDs belong to the discarded image
+	if err := s.writeCheckpoint(); err != nil {
+		s.closeHandles()
+		return err
+	}
+	s.closeHandles()
+	return nil
+}
+
+// adopt transplants a freshly recovered store's state into this one.
+// The old handles are already closed; the donor object is abandoned.
+func (s *Store) adopt(f *Store) {
+	s.tree = f.tree
+	s.w = f.w
+	s.pg = f.pg
+	s.seq = f.seq
+	s.sinceCkpt = f.sinceCkpt
+	s.snapPages = f.snapPages
+	s.recovery = f.recovery
+	s.audited = f.audited
+	s.dead = nil
+	s.divergent = false
+}
+
+// SnapshotPages returns the page IDs of the live checkpoint snapshot,
+// for fault drills that need to aim at (or away from) live state.
+func (s *Store) SnapshotPages() []pager.PageID {
+	return append([]pager.PageID(nil), s.snapPages...)
+}
+
+// FlipBit flips one bit of an on-disk page without re-sealing its
+// checksum — the bit-rot drill hook, delegated to the pager.
+func (s *Store) FlipBit(id pager.PageID, bit int) error {
+	return s.pg.FlipBit(id, bit)
+}
+
 // Tree exposes the underlying index (read-mostly).
 func (s *Store) Tree() *rplustree.Tree { return s.tree }
+
+// Options returns the store's options with defaults applied.
+func (s *Store) Options() Options { return s.opts }
 
 // Len returns the number of live records.
 func (s *Store) Len() int { return s.tree.Len() }

@@ -28,6 +28,22 @@ type CrashPolicy interface {
 	BeforeAppend(frameLen int) (persist int, crashed bool)
 }
 
+// AppendFault injects typed failures into the log appender, attempt
+// by attempt. It is satisfied structurally by *fault.Flaky so the
+// injector package does not import this one. WriteAttempt is consulted
+// before each physical frame write: on a fault it reports how many
+// bytes of the frame land anyway (a torn prefix the writer persists
+// before returning the error, so the truncate-before-retry path is
+// exercised) and the error itself; errors exposing `Transient() bool`
+// are retried under the writer's retry policy, anything else
+// escalates. SyncAttempt is consulted before each fsync, including
+// when NoSync elides the real one, so fault schedules are identical
+// in synced and unsynced runs.
+type AppendFault interface {
+	WriteAttempt(frameLen int) (tear int, err error)
+	SyncAttempt() error
+}
+
 // crashedError mirrors fault.CrashError structurally: recovery-side
 // code matches any error exposing Crashed() bool.
 type crashedError struct{ op string }
@@ -60,6 +76,7 @@ type Writer struct {
 	f      logFile
 	size   int64 // bytes of committed frames; a retry truncates back here
 	crash  CrashPolicy
+	afault AppendFault
 	noSync bool
 	retry  retry.Policy
 	dead   error
@@ -73,7 +90,7 @@ type Writer struct {
 
 // openWriter opens path for appending. The file's existing contents
 // are assumed valid (callers scan before appending).
-func openWriter(path string, crash CrashPolicy, noSync bool, rp retry.Policy) (*Writer, error) {
+func openWriter(path string, crash CrashPolicy, noSync bool, rp retry.Policy, af AppendFault) (*Writer, error) {
 	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, err
@@ -83,15 +100,21 @@ func openWriter(path string, crash CrashPolicy, noSync bool, rp retry.Policy) (*
 		f.Close()
 		return nil, err
 	}
-	return &Writer{f: f, size: st.Size(), crash: crash, noSync: noSync, retry: rp}, nil
+	return &Writer{f: f, size: st.Size(), crash: crash, noSync: noSync, retry: rp, afault: af}, nil
 }
 
 // Append frames the payload and appends it durably: length prefix,
 // payload, CRC32-C trailer, then fsync (unless NoSync). Transient
 // faults surfaced by the crash policy do not exist — a crash is
-// permanent — but real-device deployments see transient write errors,
-// so the write itself runs under the package retry policy. After a
-// crash the writer is dead: every later append fails with the same
+// permanent — but real-device deployments see transient write and
+// fsync errors, so both run under the package retry policy, with the
+// injectable AppendFault standing in for the device. A failed append
+// is CLEAN: the log is rolled back to its committed size, so the
+// frame the caller was told is not committed leaves no bytes behind
+// and the caller may simply try the append again later. Only when
+// that rollback itself fails — the log is in an unknown state that a
+// reopen's committed-prefix scan must repair — or after a simulated
+// crash is the writer dead: every later append fails with the same
 // error, exactly like a dead process.
 func (w *Writer) Append(payload []byte) error {
 	if w.dead != nil {
@@ -129,11 +152,25 @@ func (w *Writer) Append(payload []byte) error {
 					return terr
 				}
 			}
+			if w.afault != nil {
+				if tear, ferr := w.afault.WriteAttempt(persist); ferr != nil {
+					if tear > persist {
+						tear = persist
+					}
+					if tear > 0 {
+						// Best effort: the injected failure tore a
+						// prefix into the log, like a real device error
+						// mid-write.
+						w.f.Write(frame[:tear])
+					}
+					return ferr
+				}
+			}
 			_, werr := w.f.Write(frame[:persist])
 			return werr
 		})
 		if err != nil {
-			return fmt.Errorf("wal: append: %w", err)
+			return w.fail("append", err)
 		}
 	}
 	if crashed {
@@ -142,20 +179,51 @@ func (w *Writer) Append(payload []byte) error {
 		w.dead = &crashedError{op: "append"}
 		return w.dead
 	}
+	if err := w.sync(); err != nil {
+		// The frame's bytes are in the file but were never made
+		// durable; without the rollback a recovery scan would replay
+		// them as a phantom commit of an operation the caller was told
+		// failed.
+		return w.fail("sync", err)
+	}
 	w.size += int64(persist)
-	return w.sync()
-}
-
-// sync flushes the file unless the writer runs unsynced.
-func (w *Writer) sync() error {
-	if w.noSync {
-		return nil
-	}
-	if err := w.f.Sync(); err != nil {
-		return fmt.Errorf("wal: sync: %w", err)
-	}
 	return nil
 }
+
+// fail rolls the log back to its committed size after a failed append
+// or sync, then returns the failure with the original error (and its
+// Transient marker) intact. If the rollback itself fails the log's
+// tail is unknowable from inside this process and the writer is dead:
+// only a reopen — committed-prefix scan plus truncate — can repair it.
+func (w *Writer) fail(op string, err error) error {
+	if terr := w.f.Truncate(w.size); terr != nil {
+		w.dead = fmt.Errorf("wal: %s failed (%v) and the rollback truncate failed too: %w", op, err, terr)
+		return w.dead
+	}
+	return fmt.Errorf("wal: %s: %w", op, err)
+}
+
+// sync flushes the file, retrying transient fsync faults under the
+// writer's retry policy. The AppendFault hook is consulted even when
+// NoSync elides the real fsync, so a fault schedule replays
+// identically in synced and unsynced runs.
+func (w *Writer) sync() error {
+	return w.retry.Do(func() error {
+		if w.afault != nil {
+			if err := w.afault.SyncAttempt(); err != nil {
+				return err
+			}
+		}
+		if w.noSync {
+			return nil
+		}
+		return w.f.Sync()
+	})
+}
+
+// Err returns the error that killed the writer — a simulated crash or
+// a failed rollback — or nil while the writer can still append.
+func (w *Writer) Err() error { return w.dead }
 
 // Close closes the log file.
 func (w *Writer) Close() error { return w.f.Close() }

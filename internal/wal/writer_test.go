@@ -21,7 +21,7 @@ func readLog(t *testing.T, path string) []byte {
 
 func TestWriterScannerRoundTrip(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "wal.log")
-	w, err := openWriter(path, nil, true, retry.Policy{})
+	w, err := openWriter(path, nil, true, retry.Policy{}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,7 +54,7 @@ func TestWriterScannerRoundTrip(t *testing.T) {
 // present with valid checksums, flag the tail as torn, and never panic.
 func TestScannerStopsAtTornTail(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "wal.log")
-	w, err := openWriter(path, nil, true, retry.Policy{})
+	w, err := openWriter(path, nil, true, retry.Policy{}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,7 +119,7 @@ func atFrameEnd(ends []int, n int) bool {
 // checksum must end the committed prefix there.
 func TestScannerRejectsBitFlip(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "wal.log")
-	w, err := openWriter(path, nil, true, retry.Policy{})
+	w, err := openWriter(path, nil, true, retry.Policy{}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -160,7 +160,7 @@ func TestScannerRejectsBitFlip(t *testing.T) {
 func TestWriterCrashTearsFrame(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "wal.log")
 	crash := &fault.Crash{At: 3, Torn: 0.5}
-	w, err := openWriter(path, crash, true, retry.Policy{})
+	w, err := openWriter(path, crash, true, retry.Policy{}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -276,7 +276,7 @@ func TestScannerHugeLengthPrefix(t *testing.T) {
 
 func TestAppendRejectsOversizedFrame(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "wal.log")
-	w, err := openWriter(path, nil, true, retry.Policy{})
+	w, err := openWriter(path, nil, true, retry.Policy{}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
