@@ -4,9 +4,9 @@ GO ?= go
 
 # Parameterized benchmark baseline: `make bench BENCH=BENCH_PR3.json`
 # writes a new baseline without editing the Makefile.
-BENCH ?= BENCH_BASELINE.json
+BENCH ?= BENCH_PR7.json
 
-.PHONY: all build test vet lint race chaos chaos-serve crash throughput fuzz bench cover experiments examples clean
+.PHONY: all build test vet lint race chaos chaos-serve crash throughput zeroalloc read-bench fuzz bench cover experiments examples clean
 
 all: vet test
 
@@ -64,13 +64,28 @@ crash:
 # against the per-op baseline at a short benchtime — catches gross
 # throughput regressions without a full bench sweep.
 throughput:
-	$(GO) test -run NONE -bench 'StorePerOpInsert|ServeGroupCommit|ServeReadsDuringWrites' -benchtime 100ms ./internal/serve/
+	$(GO) test -run NONE -bench 'StorePerOpInsert|ServeGroupCommit|ServeReadsDuringWrites|ServePointQuery|ServeRangeQuery' -benchmem -benchtime 100ms ./internal/serve/
+
+# Zero-alloc smoke: the warm read path (sessions, sfc key path,
+# routing lookups) must report 0 allocs/op. These are regular tests
+# built on testing.AllocsPerRun, so CI enforces the budget on every
+# run; this target names them for quick local iteration.
+zeroalloc:
+	$(GO) test -run 'ZeroAlloc' -v ./internal/routing/ ./internal/query/ ./internal/serve/ ./internal/sfc/
+
+# Targeted read-path benchmark run, merged into the committed baseline:
+# re-measures the serving read benchmarks and the accelerator
+# comparison without re-running the full figure sweep.
+read-bench:
+	$(GO) test -run NONE -bench 'ReadPoint|ReadRange|ReadEstimate|RoutingBuild|QuantizerKey|ServeReadsDuringWrites|ServePointQuery|ServeRangeQuery' -benchmem -count=3 ./internal/query/ ./internal/sfc/ ./internal/serve/ 2>&1 | tee read_bench_output.txt
+	$(GO) run ./cmd/benchjson -in read_bench_output.txt -merge $(BENCH) -o $(BENCH)
 
 # Short fuzz passes over the dataset codecs and the WAL record decoder.
 fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzReadCSV -fuzztime=30s ./internal/dataset/
 	$(GO) test -run=NONE -fuzz=FuzzReadBinary -fuzztime=30s ./internal/dataset/
 	$(GO) test -run=NONE -fuzz=FuzzDecode -fuzztime=30s ./internal/wal/
+	$(GO) test -run=NONE -fuzz=FuzzLookupVsLinear -fuzztime=30s ./internal/routing/
 
 # Full figure + ablation benchmark sweep, 3 runs per benchmark for
 # variance. The raw log lands in bench_output.txt; the parsed baseline
@@ -93,4 +108,4 @@ examples:
 	$(GO) run ./examples/workload
 
 clean:
-	rm -f test_output.txt bench_output.txt
+	rm -f test_output.txt bench_output.txt read_bench_output.txt

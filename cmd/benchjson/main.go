@@ -55,6 +55,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	fs.SetOutput(stderr)
 	inPath := fs.String("in", "", "input file (default stdin)")
 	outPath := fs.String("o", "", "output file (default stdout)")
+	mergePath := fs.String("merge", "", "existing JSON baseline to merge into: its entries survive unless the new run re-measures a benchmark of the same pkg and name")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -74,6 +75,17 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	if len(doc.Benchmarks) == 0 {
 		return fmt.Errorf("no benchmark result lines found in input")
 	}
+	if *mergePath != "" {
+		prev, err := os.ReadFile(*mergePath)
+		if err != nil {
+			return err
+		}
+		var base Doc
+		if err := json.Unmarshal(prev, &base); err != nil {
+			return fmt.Errorf("merge baseline %s: %w", *mergePath, err)
+		}
+		doc = Merge(&base, doc)
+	}
 	enc, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		return err
@@ -84,6 +96,36 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	}
 	_, err = stdout.Write(enc)
 	return err
+}
+
+// Merge overlays a fresh partial run onto an existing baseline:
+// baseline entries for any (pkg, name) the new run re-measured are
+// dropped (all repetitions — a re-measured benchmark is replaced
+// wholesale, not appended to), everything else survives in order, and
+// the new results follow. Environment fields come from the new run so
+// the document reflects the machine that produced the latest numbers.
+func Merge(base, fresh *Doc) *Doc {
+	remeasured := make(map[string]bool, len(fresh.Benchmarks))
+	for _, b := range fresh.Benchmarks {
+		remeasured[b.Pkg+"\x00"+b.Name] = true
+	}
+	out := &Doc{Goos: fresh.Goos, Goarch: fresh.Goarch, CPU: fresh.CPU}
+	if out.Goos == "" {
+		out.Goos = base.Goos
+	}
+	if out.Goarch == "" {
+		out.Goarch = base.Goarch
+	}
+	if out.CPU == "" {
+		out.CPU = base.CPU
+	}
+	for _, b := range base.Benchmarks {
+		if !remeasured[b.Pkg+"\x00"+b.Name] {
+			out.Benchmarks = append(out.Benchmarks, b)
+		}
+	}
+	out.Benchmarks = append(out.Benchmarks, fresh.Benchmarks...)
+	return out
 }
 
 // Parse reads `go test -bench` output. Lines it does not recognize

@@ -1,6 +1,9 @@
 package main
 
 import (
+	"encoding/json"
+	"io"
+	"os"
 	"strings"
 	"testing"
 )
@@ -58,5 +61,88 @@ func TestParseResultLineRejectsBadPairs(t *testing.T) {
 	}
 	if _, ok := parseResultLine("BenchmarkX 10"); ok {
 		t.Fatal("line with no metrics must not parse")
+	}
+}
+
+// TestMerge: re-measured (pkg, name) pairs are replaced wholesale —
+// all old repetitions dropped, new ones appended — while untouched
+// baseline entries survive in order and the environment header follows
+// the new run.
+func TestMerge(t *testing.T) {
+	base := &Doc{
+		Goos: "linux", Goarch: "amd64", CPU: "old-cpu",
+		Benchmarks: []Result{
+			{Pkg: "a", Name: "BenchmarkX-8", Iterations: 10, Metrics: map[string]float64{"ns/op": 100}},
+			{Pkg: "a", Name: "BenchmarkX-8", Iterations: 11, Metrics: map[string]float64{"ns/op": 101}},
+			{Pkg: "a", Name: "BenchmarkY-8", Iterations: 12, Metrics: map[string]float64{"ns/op": 200}},
+			{Pkg: "b", Name: "BenchmarkX-8", Iterations: 13, Metrics: map[string]float64{"ns/op": 300}},
+		},
+	}
+	fresh := &Doc{
+		Goos: "linux", Goarch: "amd64", CPU: "new-cpu",
+		Benchmarks: []Result{
+			{Pkg: "a", Name: "BenchmarkX-8", Iterations: 20, Metrics: map[string]float64{"ns/op": 50}},
+		},
+	}
+	got := Merge(base, fresh)
+	if got.CPU != "new-cpu" {
+		t.Fatalf("CPU = %q, want the fresh run's", got.CPU)
+	}
+	want := []struct {
+		pkg   string
+		iters int64
+	}{{"a", 12}, {"b", 13}, {"a", 20}}
+	if len(got.Benchmarks) != len(want) {
+		t.Fatalf("%d merged benchmarks, want %d: %+v", len(got.Benchmarks), len(want), got.Benchmarks)
+	}
+	for i, w := range want {
+		if got.Benchmarks[i].Pkg != w.pkg || got.Benchmarks[i].Iterations != w.iters {
+			t.Fatalf("merged[%d] = %+v, want pkg %s iters %d", i, got.Benchmarks[i], w.pkg, w.iters)
+		}
+	}
+	// Same-name benchmark in a different package is untouched: only the
+	// (pkg, name) pair the new run re-measured is replaced.
+	if got.Benchmarks[1].Pkg != "b" || got.Benchmarks[1].Metrics["ns/op"] != 300 {
+		t.Fatalf("pkg b's BenchmarkX was disturbed: %+v", got.Benchmarks[1])
+	}
+}
+
+// TestMergeFlag drives the flag end to end through run().
+func TestMergeFlag(t *testing.T) {
+	dir := t.TempDir()
+	basePath := dir + "/base.json"
+	outPath := dir + "/out.json"
+	if err := os.WriteFile(basePath, []byte(`{"goos":"linux","benchmarks":[
+		{"pkg":"spatialanon","name":"BenchmarkOld-8","iterations":5,"metrics":{"ns/op":1}},
+		{"pkg":"spatialanon","name":"BenchmarkFig8bIOVsMemory/mem=8MB","iterations":9,"metrics":{"ns/op":9}}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := run([]string{"-merge", basePath, "-o", outPath}, strings.NewReader(sample), io.Discard, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc Doc
+	if err := json.Unmarshal(enc, &doc); err != nil {
+		t.Fatal(err)
+	}
+	// base had 2 entries; the sample re-measures Fig8b (1 entry) and
+	// adds Fig7a twice: Old survives, Fig8b replaced, total 4.
+	if len(doc.Benchmarks) != 4 {
+		t.Fatalf("%d benchmarks after merge, want 4: %+v", len(doc.Benchmarks), doc.Benchmarks)
+	}
+	if doc.Benchmarks[0].Name != "BenchmarkOld-8" {
+		t.Fatalf("surviving baseline entry missing: %+v", doc.Benchmarks)
+	}
+	for _, b := range doc.Benchmarks {
+		if b.Name == "BenchmarkFig8bIOVsMemory/mem=8MB" && b.Metrics["ns/op"] == 9 {
+			t.Fatal("re-measured benchmark not replaced")
+		}
+	}
+	if err := run([]string{"-merge", dir + "/missing.json"}, strings.NewReader(sample), io.Discard, io.Discard); err == nil {
+		t.Fatal("missing merge baseline accepted")
 	}
 }

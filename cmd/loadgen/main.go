@@ -61,6 +61,7 @@ func main() {
 type config struct {
 	dir      string
 	dataset  string
+	profile  string
 	n        int
 	ops      int
 	writers  int
@@ -80,6 +81,7 @@ func parseFlags(args []string) (config, error) {
 	var c config
 	fs.StringVar(&c.dir, "dir", "", "store directory (default: a fresh temp dir, removed on exit)")
 	fs.StringVar(&c.dataset, "dataset", "landsend", "dataset schema: landsend or patients")
+	fs.StringVar(&c.profile, "profile", "churn", "workload profile: churn (mixed write/read) or read (accelerated point/range sessions)")
 	fs.IntVar(&c.n, "n", 20000, "records preloaded before the measured run")
 	fs.IntVar(&c.ops, "ops", 4000, "total mutations the writers share")
 	fs.IntVar(&c.writers, "writers", 8, "writer goroutines (0 = read-only run)")
@@ -95,13 +97,21 @@ func parseFlags(args []string) (config, error) {
 	if err := fs.Parse(args); err != nil {
 		return c, err
 	}
+	if c.profile != "churn" && c.profile != "read" {
+		return c, fmt.Errorf("unknown profile %q (want churn or read)", c.profile)
+	}
+	if c.profile == "read" && c.readers <= 0 {
+		return c, fmt.Errorf("read profile needs at least one reader")
+	}
 	if c.writers < 0 || c.readers < 0 || c.writers+c.readers == 0 {
 		return c, fmt.Errorf("need at least one writer or reader")
 	}
 	if c.n < c.k {
 		return c, fmt.Errorf("preload %d below base k %d: no release exists", c.n, c.k)
 	}
-	if c.ops > 0 && c.writers == 0 {
+	// In the churn profile -ops is a write budget, meaningless without
+	// writers; in the read profile it is the per-class read budget.
+	if c.profile == "churn" && c.ops > 0 && c.writers == 0 {
 		c.ops = 0
 	}
 	return c, nil
@@ -261,8 +271,12 @@ func run(args []string, out io.Writer) error {
 		}
 	}()
 
-	fmt.Fprintf(out, "loadgen: %s n=%d k=%d writers=%d readers=%d batch=%d ops=%d fsync=%v\n",
-		c.dataset, c.n, c.k, c.writers, c.readers, c.batch, c.ops, !c.nosync)
+	fmt.Fprintf(out, "loadgen: %s profile=%s n=%d k=%d writers=%d readers=%d batch=%d ops=%d fsync=%v\n",
+		c.dataset, c.profile, c.n, c.k, c.writers, c.readers, c.batch, c.ops, !c.nosync)
+
+	if c.profile == "read" {
+		return readProfile(c, s, generate, out, stop)
+	}
 
 	// Fresh records the writers will churn, striped per writer so no
 	// two goroutines ever race on one key.

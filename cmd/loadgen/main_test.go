@@ -118,3 +118,33 @@ func TestFlagValidation(t *testing.T) {
 		t.Fatal("unknown dataset accepted")
 	}
 }
+
+// TestReadProfile drives the accelerated read path: per-class report
+// lines with ops/sec, quantiles and a calibrated allocs/op that must
+// be zero on the warm session.
+func TestReadProfile(t *testing.T) {
+	out := runOK(t,
+		"-dir", t.TempDir(), "-profile", "read", "-n", "800", "-ops", "400",
+		"-writers", "2", "-readers", "3", "-k", "5", "-nosync")
+	for _, want := range []string{"points: 400 ops", "ranges: 400 ops", "ops/sec", "allocs/op", "epochs:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	for _, m := range regexp.MustCompile(`(points|ranges): .*allocs/op ([\d.]+)`).FindAllStringSubmatch(out, -1) {
+		if a, _ := strconv.ParseFloat(m[2], 64); a != 0 {
+			t.Fatalf("%s report %s allocs/op, want 0:\n%s", m[1], m[2], out)
+		}
+	}
+}
+
+// TestReadProfileValidation pins the profile flag's error cases.
+func TestReadProfileValidation(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-profile", "nope", "-nosync"}, &out); err == nil {
+		t.Fatal("unknown profile accepted")
+	}
+	if err := run([]string{"-profile", "read", "-readers", "0", "-writers", "2", "-nosync"}, &out); err == nil {
+		t.Fatal("read profile without readers accepted")
+	}
+}

@@ -1,0 +1,156 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"time"
+
+	"spatialanon/internal/attr"
+	"spatialanon/internal/query"
+	"spatialanon/internal/serve"
+)
+
+// The read profile measures the zero-alloc serving read path: every
+// reader goroutine holds its own Counter/Estimator session against the
+// current view (re-minted whenever the epoch moves) and drives point
+// and range COUNT queries back-to-back. Reported per class: ops/sec,
+// p50/p99 latency, and allocs/op measured by mallocs-delta calibration
+// on a warm session — the number CI pins to zero.
+
+// allocsPerOp measures steady-state heap allocations of one warm
+// operation: mallocs-delta over n calls on a quiesced heap. It runs
+// before any background churn starts, so the delta belongs to f alone.
+func allocsPerOp(n int, f func()) float64 {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+	f() // warm caches and scratch outside the window
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	for i := 0; i < n; i++ {
+		f()
+	}
+	runtime.ReadMemStats(&after)
+	return float64(after.Mallocs-before.Mallocs) / float64(n)
+}
+
+// readProfile runs the read-only measurement loop. Writers (if
+// configured) churn the store in the background — unmeasured — so the
+// epoch moves and sessions exercise their refresh path.
+func readProfile(c config, s *serve.Server, generate func(n int, seed int64) []attr.Record, out io.Writer, stop chan struct{}) error {
+	v := s.View()
+	if _, err := v.Release(c.k1); err != nil {
+		return fmt.Errorf("read profile: %w", err)
+	}
+	recs := v.Records()
+	points := query.PointWorkload(recs, 512, c.seed+2)
+	ranges := query.FullRangeWorkload(recs, 512, c.seed+3)
+
+	// Calibrate allocs/op on a warm session before any churn starts.
+	counter, err := v.Counter(c.k1)
+	if err != nil {
+		return err
+	}
+	est, err := v.Estimator(c.k1)
+	if err != nil {
+		return err
+	}
+	i := 0
+	pointAllocs := allocsPerOp(512, func() { counter.Point(points[i%len(points)]); i++ })
+	rangeAllocs := allocsPerOp(512, func() { counter.Range(ranges[i%len(ranges)]); i++ })
+	estAllocs := allocsPerOp(512, func() { est.Estimate(ranges[i%len(ranges)]); i++ })
+
+	// Background churn: writers cycle inserts over fresh IDs so epochs
+	// advance under the readers. Unmeasured; errors end the churn only.
+	var churnWG sync.WaitGroup
+	churnStop := make(chan struct{})
+	if c.writers > 0 {
+		fresh := generate(c.writers*64, c.seed+4)
+		for w := 0; w < c.writers; w++ {
+			w := w
+			churnWG.Add(1)
+			go func() {
+				defer churnWG.Done()
+				for j := 0; ; j++ {
+					select {
+					case <-churnStop:
+						return
+					default:
+					}
+					r := fresh[(w*64+j%64)%len(fresh)]
+					r.ID = int64(c.n + w*1_000_000 + j + 1)
+					if s.Insert(r) != nil {
+						return
+					}
+				}
+			}()
+		}
+	}
+
+	// Measured run: readers share a per-class budget of c.ops queries,
+	// striped like the churn writers. Each reader re-mints its sessions
+	// whenever the published epoch moves past the one it holds.
+	type readerOut struct {
+		point, rng []time.Duration
+		err        error
+	}
+	outs := make([]readerOut, c.readers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for r := 0; r < c.readers; r++ {
+		r := r
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rv := s.View()
+			rc, err := rv.Counter(c.k1)
+			if err != nil {
+				outs[r].err = err
+				return
+			}
+			for i := r; i < c.ops; i += c.readers {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if cur := s.View(); cur.Epoch() != rv.Epoch() {
+					rv = cur
+					if rc, err = rv.Counter(c.k1); err != nil {
+						outs[r].err = err
+						return
+					}
+				}
+				t0 := time.Now()
+				rc.Point(points[i%len(points)])
+				outs[r].point = append(outs[r].point, time.Since(t0))
+				t0 = time.Now()
+				rc.Range(ranges[i%len(ranges)])
+				outs[r].rng = append(outs[r].rng, time.Since(t0))
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(churnStop)
+	churnWG.Wait()
+	if err := s.Close(); err != nil {
+		return err
+	}
+
+	pointLats := make([][]time.Duration, c.readers)
+	rangeLats := make([][]time.Duration, c.readers)
+	for r := range outs {
+		if outs[r].err != nil {
+			return fmt.Errorf("reader %d: %w", r, outs[r].err)
+		}
+		pointLats[r] = outs[r].point
+		rangeLats[r] = outs[r].rng
+	}
+	fmt.Fprintf(out, "points: %s, allocs/op %.2f\n", summarize(pointLats, elapsed), pointAllocs)
+	fmt.Fprintf(out, "ranges: %s, allocs/op %.2f\n", summarize(rangeLats, elapsed), rangeAllocs)
+	fmt.Fprintf(out, "estimates (calibration only): allocs/op %.2f\n", estAllocs)
+	stats := s.Stats()
+	fmt.Fprintf(out, "epochs: %d published during the run\n", stats.Epoch)
+	return nil
+}

@@ -13,6 +13,7 @@ package spatialanon
 import (
 	"errors"
 	"fmt"
+	"math"
 	"testing"
 
 	"spatialanon/internal/anonmodel"
@@ -24,8 +25,10 @@ import (
 	"spatialanon/internal/mondrian"
 	"spatialanon/internal/quality"
 	"spatialanon/internal/query"
+	"spatialanon/internal/routing"
 	"spatialanon/internal/rplustree"
 	"spatialanon/internal/serve"
+	"spatialanon/internal/sfc"
 	"spatialanon/internal/wal"
 )
 
@@ -444,6 +447,88 @@ func TestParallelEvaluatorsDeterministic(t *testing.T) {
 		for i := range refRes {
 			if res[i].Original != refRes[i].Original || res[i].Anonymized != refRes[i].Anonymized || res[i].Err != refRes[i].Err {
 				t.Fatalf("workers=%d: query %d result %+v, want %+v", w, i, res[i], refRes[i])
+			}
+		}
+	}
+}
+
+// TestRoutingAcceleratorDeterministic pins the read accelerator to the
+// byte-equality contract: for every curve, block size and serving
+// worker count, the accelerated point, range and estimate answers must
+// be identical — counts exactly, estimates bit for bit — to the linear
+// reference scan over the same release. The accelerator may prune
+// differently per configuration; it may never answer differently.
+func TestRoutingAcceleratorDeterministic(t *testing.T) {
+	const nRecs = 4000
+	recs := dataset.GenerateLandsEnd(nRecs, benchSeed)
+	points := query.PointWorkload(recs, 100, benchSeed+1)
+	ranges := query.FullRangeWorkload(recs, 100, benchSeed+2)
+
+	release := func(workers int) []anonmodel.Partition {
+		st, err := wal.Create(wal.Options{
+			Dir:    t.TempDir(),
+			Tree:   rplustree.Config{Schema: dataset.LandsEndSchema(), BaseK: 5, Parallelism: workers},
+			NoSync: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer st.Close()
+		ops := make([]wal.Op, len(recs))
+		for i, r := range recs {
+			ops[i] = wal.Op{Type: wal.TypeInsert, Rec: r}
+		}
+		if _, err := st.ApplyBatch(ops); err != nil {
+			t.Fatal(err)
+		}
+		s, err := serve.New(st, serve.Options{Parallelism: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		ps, err := s.View().Release(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ps
+	}
+
+	ref := release(1)
+	wantPoint := make([]int, len(points))
+	for i, p := range points {
+		wantPoint[i] = query.CountAnonymizedPoint(ref, p)
+	}
+	wantRange := make([]int, len(ranges))
+	wantEst := make([]uint64, len(ranges))
+	for i, q := range ranges {
+		wantRange[i] = query.CountAnonymized(ref, q)
+		wantEst[i] = math.Float64bits(query.EstimateUniform(ref, q))
+	}
+
+	for _, w := range detWorkerCounts {
+		ps := release(w)
+		mustEqualPartitions(t, fmt.Sprintf("accel release workers=%d", w), ref, ps)
+		for _, curve := range []sfc.Curve{sfc.ZOrder, sfc.Hilbert} {
+			for _, block := range []int{1, 16, 256} {
+				ix, err := routing.Build(ps, routing.Options{Curve: curve, BlockSize: block})
+				if err != nil {
+					t.Fatal(err)
+				}
+				var s routing.Scratch
+				label := fmt.Sprintf("workers=%d curve=%v block=%d", w, curve, block)
+				for i, p := range points {
+					if got := ix.PointCount(p, &s); got != wantPoint[i] {
+						t.Fatalf("%s: point %d answered %d, reference %d", label, i, got, wantPoint[i])
+					}
+				}
+				for i, q := range ranges {
+					if got := ix.RangeCount(q, &s); got != wantRange[i] {
+						t.Fatalf("%s: range %d answered %d, reference %d", label, i, got, wantRange[i])
+					}
+					if got := math.Float64bits(ix.Estimate(q, &s)); got != wantEst[i] {
+						t.Fatalf("%s: estimate %d bits %x, reference %x", label, i, got, wantEst[i])
+					}
+				}
 			}
 		}
 	}

@@ -41,6 +41,7 @@ var Deterministic = map[string]bool{
 	"spatialanon/internal/quality":   true,
 	"spatialanon/internal/query":     true,
 	"spatialanon/internal/sfc":       true,
+	"spatialanon/internal/routing":   true,
 	"spatialanon/internal/bptree":    true,
 	"spatialanon/internal/quadtree":  true,
 	"spatialanon/internal/gridfile":  true,

@@ -1,0 +1,113 @@
+package query_test
+
+import (
+	"testing"
+
+	"spatialanon/internal/anonmodel"
+	"spatialanon/internal/attr"
+	"spatialanon/internal/dataset"
+	"spatialanon/internal/query"
+	"spatialanon/internal/routing"
+	"spatialanon/internal/sfc"
+)
+
+const benchSeed = 99
+
+func benchRelease(b *testing.B, n int) ([]anonmodel.Partition, *routing.Index, [][]float64, []attr.Box) {
+	b.Helper()
+	recs := dataset.GenerateLandsEnd(n, benchSeed)
+	ps, err := sfc.Anonymize(recs, sfc.Hilbert, anonmodel.KAnonymity{K: 10})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ix, err := routing.Build(ps, routing.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	points := query.PointWorkload(recs, 512, benchSeed+1)
+	ranges := query.FullRangeWorkload(recs, 512, benchSeed+2)
+	return ps, ix, points, ranges
+}
+
+// BenchmarkReadPoint compares the linear reference scan with the
+// accelerated session on point COUNT queries — the headline read-path
+// speedup (BENCH_PR7.json).
+func BenchmarkReadPoint(b *testing.B) {
+	ps, ix, points, _ := benchRelease(b, 20000)
+	b.Run("linear", func(b *testing.B) {
+		c := query.NewCounter(ps, nil)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c.Point(points[i%len(points)])
+		}
+	})
+	b.Run("accel", func(b *testing.B) {
+		c := query.NewCounter(ps, ix)
+		c.Point(points[0]) // warm scratch
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c.Point(points[i%len(points)])
+		}
+	})
+}
+
+// BenchmarkReadRange compares the same two paths on range COUNT
+// queries seeded from record pairs.
+func BenchmarkReadRange(b *testing.B) {
+	ps, ix, _, ranges := benchRelease(b, 20000)
+	b.Run("linear", func(b *testing.B) {
+		c := query.NewCounter(ps, nil)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c.Range(ranges[i%len(ranges)])
+		}
+	})
+	b.Run("accel", func(b *testing.B) {
+		c := query.NewCounter(ps, ix)
+		c.Range(ranges[0])
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c.Range(ranges[i%len(ranges)])
+		}
+	})
+}
+
+// BenchmarkReadEstimate covers the uniform-assumption estimate, whose
+// accelerated path must also reproduce the linear float rounding.
+func BenchmarkReadEstimate(b *testing.B) {
+	ps, ix, _, ranges := benchRelease(b, 20000)
+	b.Run("linear", func(b *testing.B) {
+		e := query.NewEstimator(ps, nil)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			e.Estimate(ranges[i%len(ranges)])
+		}
+	})
+	b.Run("accel", func(b *testing.B) {
+		e := query.NewEstimator(ps, ix)
+		e.Estimate(ranges[0])
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			e.Estimate(ranges[i%len(ranges)])
+		}
+	})
+}
+
+// BenchmarkRoutingBuild prices the once-per-epoch accelerator
+// construction the serving layer amortizes.
+func BenchmarkRoutingBuild(b *testing.B) {
+	recs := dataset.GenerateLandsEnd(20000, benchSeed)
+	ps, err := sfc.Anonymize(recs, sfc.Hilbert, anonmodel.KAnonymity{K: 10})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := routing.Build(ps, routing.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

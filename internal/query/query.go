@@ -28,12 +28,39 @@ import (
 func FullRangeWorkload(recs []attr.Record, n int, seed int64) []attr.Box {
 	rng := detrng.New(seed)
 	out := make([]attr.Box, n)
+	if n == 0 || len(recs) == 0 {
+		return out
+	}
+	// One flat interval arena for the whole workload instead of one
+	// box allocation per query: generation cost is two allocations
+	// regardless of n, and the boxes pack contiguously.
+	dims := len(recs[0].QI)
+	arena := make([]attr.Interval, n*dims)
 	for i := range out {
 		r1 := recs[rng.Intn(len(recs))]
 		r2 := recs[rng.Intn(len(recs))]
-		q := attr.PointBox(r1.QI)
+		q := attr.Box(arena[i*dims : (i+1)*dims : (i+1)*dims])
+		for d, v := range r1.QI {
+			q[d] = attr.Interval{Lo: v, Hi: v}
+		}
 		q.Include(r2.QI)
 		out[i] = q
+	}
+	return out
+}
+
+// PointWorkload draws n point queries from the records themselves (so
+// every point has at least one true match), for the read-path load
+// profiles. The returned points alias the records' QI slices — they
+// are read-only query inputs, not copies.
+func PointWorkload(recs []attr.Record, n int, seed int64) [][]float64 {
+	rng := detrng.New(seed)
+	out := make([][]float64, n)
+	if len(recs) == 0 {
+		return out[:0]
+	}
+	for i := range out {
+		out[i] = recs[rng.Intn(len(recs))].QI
 	}
 	return out
 }
@@ -45,13 +72,19 @@ func FullRangeWorkload(recs []attr.Record, n int, seed int64) []attr.Box {
 func SingleAttrWorkload(recs []attr.Record, axis int, n int, seed int64, domain attr.Box) []attr.Box {
 	rng := detrng.New(seed)
 	out := make([]attr.Box, n)
+	if n == 0 || len(recs) == 0 {
+		return out
+	}
+	dims := len(domain)
+	arena := make([]attr.Interval, n*dims)
 	for i := range out {
 		v1 := recs[rng.Intn(len(recs))].QI[axis]
 		v2 := recs[rng.Intn(len(recs))].QI[axis]
 		if v1 > v2 {
 			v1, v2 = v2, v1
 		}
-		q := domain.Clone()
+		q := attr.Box(arena[i*dims : (i+1)*dims : (i+1)*dims])
+		copy(q, domain)
 		q[axis] = attr.Interval{Lo: v1, Hi: v2}
 		out[i] = q
 	}
@@ -185,6 +218,8 @@ type SelectivityBucket struct {
 // 0.001, 0.01, 0.1 produces buckets [0,0.001), [0.001,0.01),
 // [0.01,0.1), [0.1,1]). Empty buckets are retained with Queries == 0 so
 // series line up across anonymizers — the Figure 12(b)/(d) x-axis.
+// With total <= 0 no selectivity is defined, so every bucket comes
+// back empty instead of dividing by zero.
 func BySelectivity(results []Result, total int, bounds []float64) []SelectivityBucket {
 	edges := append([]float64{0}, bounds...)
 	edges = append(edges, 1.0000001) // inclusive top edge
@@ -193,6 +228,9 @@ func BySelectivity(results []Result, total int, bounds []float64) []SelectivityB
 	sums := make([]float64, len(out))
 	for i := range out {
 		out[i] = SelectivityBucket{Lo: edges[i], Hi: edges[i+1]}
+	}
+	if total <= 0 {
+		return out
 	}
 	for _, r := range results {
 		sel := float64(r.Original) / float64(total)

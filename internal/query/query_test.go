@@ -191,3 +191,74 @@ func TestErrorShrinksWithSelectivity(t *testing.T) {
 		t.Fatalf("error grew with selectivity: low %v high %v", lowSel.Mean, highSel.Mean)
 	}
 }
+
+// TestBySelectivityGuards: the division-by-zero edges stay finite —
+// total <= 0 returns the empty bucket skeleton, empty buckets report a
+// zero mean, and an empty result set still yields the full skeleton so
+// series line up across anonymizers.
+func TestBySelectivityGuards(t *testing.T) {
+	some := []Result{{Original: 10, Err: 0.5}, {Original: 900, Err: 0.1}}
+	cases := []struct {
+		name    string
+		results []Result
+		total   int
+		bounds  []float64
+	}{
+		{"zero total", some, 0, []float64{0.1}},
+		{"negative total", some, -7, []float64{0.1}},
+		{"empty results", nil, 1000, []float64{0.01, 0.1}},
+		{"no bounds", some, 1000, nil},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			buckets := BySelectivity(c.results, c.total, c.bounds)
+			if want := len(c.bounds) + 1; len(buckets) != want {
+				t.Fatalf("%d buckets, want %d", len(buckets), want)
+			}
+			counted := 0
+			for _, b := range buckets {
+				if math.IsNaN(b.Mean) || math.IsInf(b.Mean, 0) {
+					t.Fatalf("bucket [%v,%v) mean %v not finite", b.Lo, b.Hi, b.Mean)
+				}
+				if b.Queries == 0 && b.Mean != 0 {
+					t.Fatalf("empty bucket [%v,%v) has mean %v", b.Lo, b.Hi, b.Mean)
+				}
+				counted += b.Queries
+			}
+			if c.total <= 0 && counted != 0 {
+				t.Fatalf("total=%d assigned %d queries, want 0", c.total, counted)
+			}
+		})
+	}
+}
+
+// TestPointWorkload: points are drawn from real records (so point
+// queries always have hits on the original table) and the draw is
+// replayable from the seed.
+func TestPointWorkload(t *testing.T) {
+	recs := dataset.GeneratePatients(200, 80)
+	pts := PointWorkload(recs, 50, 81)
+	if len(pts) != 50 {
+		t.Fatalf("%d points, want 50", len(pts))
+	}
+	byID := make(map[float64]bool)
+	for _, r := range recs {
+		byID[r.QI[0]*1e6+r.QI[1]*1e3+r.QI[2]] = true
+	}
+	for _, p := range pts {
+		if len(p) != 3 {
+			t.Fatalf("point dims %d", len(p))
+		}
+		if !byID[p[0]*1e6+p[1]*1e3+p[2]] {
+			t.Fatalf("point %v is not a record", p)
+		}
+	}
+	again := PointWorkload(recs, 50, 81)
+	for i := range pts {
+		for d := range pts[i] {
+			if pts[i][d] != again[i][d] {
+				t.Fatal("PointWorkload not replayable from seed")
+			}
+		}
+	}
+}

@@ -1,0 +1,89 @@
+// Session objects for the serving read path: Counter and Estimator
+// wrap one published release plus (optionally) its routing accelerator
+// and own the reusable scratch a lookup needs, so point and range
+// queries on a warm session run at zero allocations per operation —
+// the same -benchmem-pinned contract as wal.Writer.Append.
+//
+// Sessions are cheap to create (a struct around shared slices) but
+// NOT safe for concurrent use: each reader goroutine takes its own
+// session against the shared, immutable release and Index.
+
+package query
+
+import (
+	"spatialanon/internal/anonmodel"
+	"spatialanon/internal/attr"
+	"spatialanon/internal/routing"
+)
+
+// CountAnonymizedPoint evaluates a point COUNT on an anonymized
+// table: every record of every partition whose box contains the point
+// matches — the point specialization of the Section 5.4 range
+// semantics, and the linear reference the routing accelerator is
+// pinned byte-identical to.
+func CountAnonymizedPoint(ps []anonmodel.Partition, p []float64) int {
+	n := 0
+	for _, part := range ps {
+		if part.Box.Contains(p) {
+			n += part.Size()
+		}
+	}
+	return n
+}
+
+// Counter answers exact point and range COUNT queries against one
+// release. With an accelerator it routes through the block-range
+// index; without one (idx == nil) it falls back to the linear scans.
+// Either path returns identical answers; only the work differs.
+type Counter struct {
+	ps  []anonmodel.Partition
+	idx *routing.Index
+	s   routing.Scratch
+}
+
+// NewCounter builds a counting session over a release and its
+// accelerator (nil for the linear fallback).
+func NewCounter(ps []anonmodel.Partition, idx *routing.Index) *Counter {
+	return &Counter{ps: ps, idx: idx}
+}
+
+// Point counts the records whose partition box contains p.
+func (c *Counter) Point(p []float64) int {
+	if c.idx != nil {
+		return c.idx.PointCount(p, &c.s)
+	}
+	return CountAnonymizedPoint(c.ps, p)
+}
+
+// Range counts the records whose partition box intersects q —
+// CountAnonymized through the session's scratch.
+func (c *Counter) Range(q attr.Box) int {
+	if c.idx != nil {
+		return c.idx.RangeCount(q, &c.s)
+	}
+	return CountAnonymized(c.ps, q)
+}
+
+// Estimator answers uniform-assumption COUNT estimates (Section 2.3)
+// against one release, accelerated when an Index is supplied. Queries
+// must match the release's dimensionality.
+type Estimator struct {
+	ps  []anonmodel.Partition
+	idx *routing.Index
+	s   routing.Scratch
+}
+
+// NewEstimator builds an estimating session over a release and its
+// accelerator (nil for the linear fallback).
+func NewEstimator(ps []anonmodel.Partition, idx *routing.Index) *Estimator {
+	return &Estimator{ps: ps, idx: idx}
+}
+
+// Estimate returns the uniform-assumption estimate for q,
+// bit-identical to EstimateUniform on the same release.
+func (e *Estimator) Estimate(q attr.Box) float64 {
+	if e.idx != nil {
+		return e.idx.Estimate(q, &e.s)
+	}
+	return EstimateUniform(e.ps, q)
+}

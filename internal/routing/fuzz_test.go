@@ -1,0 +1,76 @@
+package routing_test
+
+import (
+	"math"
+	"testing"
+
+	"spatialanon/internal/anonmodel"
+	"spatialanon/internal/attr"
+	"spatialanon/internal/query"
+	"spatialanon/internal/routing"
+	"spatialanon/internal/sfc"
+)
+
+// FuzzLookupVsLinear decodes the fuzz input into a small record set,
+// anonymizes it with both curves, builds the accelerator at a
+// byte-chosen block size and checks every point and range answer
+// against the linear reference scans, estimates bit-for-bit.
+func FuzzLookupVsLinear(f *testing.F) {
+	f.Add([]byte{3, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12})
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0})
+	f.Add([]byte{7, 255, 128, 64, 32, 16, 8, 4, 2, 1, 9, 9, 9, 9, 9, 9})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 5 {
+			return
+		}
+		dims := int(data[0])%3 + 1
+		blockSize := int(data[1])%9 + 1 // 1..9 on tiny inputs exercises many blocks
+		data = data[2:]
+		n := len(data) / dims
+		if n < 2 {
+			return
+		}
+		if n > 64 {
+			n = 64
+		}
+		recs := make([]attr.Record, n)
+		for i := range recs {
+			qi := make([]float64, dims)
+			for d := range qi {
+				qi[d] = float64(data[i*dims+d]) / 4
+			}
+			recs[i] = attr.Record{ID: int64(i + 1), QI: qi}
+		}
+		for _, curve := range []sfc.Curve{sfc.ZOrder, sfc.Hilbert} {
+			ps, err := sfc.Anonymize(recs, curve, anonmodel.KAnonymity{K: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ix, err := routing.Build(ps, routing.Options{Curve: curve, BlockSize: blockSize})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var s routing.Scratch
+			for _, r := range recs {
+				if got, want := ix.PointCount(r.QI, &s), query.CountAnonymizedPoint(ps, r.QI); got != want {
+					t.Fatalf("curve=%v point %v: got %d, want %d", curve, r.QI, got, want)
+				}
+			}
+			// Ranges anchored on record pairs, including inverted (empty)
+			// and degenerate (point) boxes.
+			for i := 0; i+1 < len(recs); i += 2 {
+				q := make(attr.Box, dims)
+				for d := range q {
+					q[d] = attr.Interval{Lo: recs[i].QI[d], Hi: recs[i+1].QI[d]}
+				}
+				if got, want := ix.RangeCount(q, &s), query.CountAnonymized(ps, q); got != want {
+					t.Fatalf("curve=%v range %v: got %d, want %d", curve, q, got, want)
+				}
+				got, want := ix.Estimate(q, &s), query.EstimateUniform(ps, q)
+				if math.Float64bits(got) != math.Float64bits(want) {
+					t.Fatalf("curve=%v estimate %v: got %v, want %v", curve, q, got, want)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,165 @@
+package routing_test
+
+import (
+	"math"
+	"testing"
+
+	"spatialanon/internal/anonmodel"
+	"spatialanon/internal/attr"
+	"spatialanon/internal/dataset"
+	"spatialanon/internal/query"
+	"spatialanon/internal/routing"
+	"spatialanon/internal/sfc"
+)
+
+// release builds a real anonymized release to index: the sort-based
+// bulk anonymization over a generated table.
+func release(t testing.TB, n int, seed int64, k int) ([]anonmodel.Partition, []attr.Record) {
+	t.Helper()
+	recs := dataset.GenerateLandsEnd(n, seed)
+	ps, err := sfc.Anonymize(recs, sfc.Hilbert, anonmodel.KAnonymity{K: k})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ps, recs
+}
+
+var buildMatrix = []struct {
+	curve sfc.Curve
+	block int
+}{
+	{sfc.ZOrder, 1}, {sfc.ZOrder, 16}, {sfc.ZOrder, 256},
+	{sfc.Hilbert, 1}, {sfc.Hilbert, 16}, {sfc.Hilbert, 256},
+}
+
+// TestLookupsMatchLinear pins accelerated point, range and estimate
+// answers to the linear reference scans for every curve and block
+// size, bit-for-bit.
+func TestLookupsMatchLinear(t *testing.T) {
+	ps, recs := release(t, 4000, 7, 10)
+	points := query.PointWorkload(recs, 300, 11)
+	ranges := query.FullRangeWorkload(recs, 300, 12)
+	// Add misses: points outside the domain and a disjoint range.
+	far := []float64{1e9, 1e9, 1e9, 1e9, 1e9, 1e9, 1e9, 1e9}[:len(recs[0].QI)]
+	points = append(points, far)
+	for _, m := range buildMatrix {
+		ix, err := routing.Build(ps, routing.Options{Curve: m.curve, BlockSize: m.block})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var s routing.Scratch
+		for i, p := range points {
+			if got, want := ix.PointCount(p, &s), query.CountAnonymizedPoint(ps, p); got != want {
+				t.Fatalf("curve=%v block=%d point %d: got %d, want %d", m.curve, m.block, i, got, want)
+			}
+		}
+		for i, q := range ranges {
+			if got, want := ix.RangeCount(q, &s), query.CountAnonymized(ps, q); got != want {
+				t.Fatalf("curve=%v block=%d range %d: got %d, want %d", m.curve, m.block, i, got, want)
+			}
+			got, want := ix.Estimate(q, &s), query.EstimateUniform(ps, q)
+			if math.Float64bits(got) != math.Float64bits(want) {
+				t.Fatalf("curve=%v block=%d estimate %d: got %v, want %v (bits %x vs %x)",
+					m.curve, m.block, i, got, want, math.Float64bits(got), math.Float64bits(want))
+			}
+		}
+	}
+}
+
+// TestDegenerateInputs covers the edges the hot path must not trip
+// on: empty index, dimension mismatches, empty query boxes.
+func TestDegenerateInputs(t *testing.T) {
+	ix, err := routing.Build(nil, routing.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s routing.Scratch
+	if ix.PointCount([]float64{1}, &s) != 0 || ix.RangeCount(attr.Box{{Lo: 0, Hi: 1}}, &s) != 0 || ix.Estimate(attr.Box{{Lo: 0, Hi: 1}}, &s) != 0 {
+		t.Fatal("empty index must answer zero")
+	}
+
+	ps, _ := release(t, 200, 3, 5)
+	ix, err = routing.Build(ps, routing.Options{BlockSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.PointCount([]float64{1, 2}, &s) != 0 {
+		t.Fatal("dimension-mismatched point must answer zero")
+	}
+	if ix.RangeCount(attr.Box{{Lo: 0, Hi: 1}}, &s) != 0 {
+		t.Fatal("dimension-mismatched range must answer zero")
+	}
+	dims := len(ps[0].Box)
+	empty := attr.NewBox(dims) // every axis empty
+	if ix.RangeCount(empty, &s) != 0 || ix.Estimate(empty, &s) != 0 {
+		t.Fatal("empty query box must answer zero")
+	}
+}
+
+// TestBuildRejectsMalformed: mixed dimensionality and empty boxes are
+// build-time errors, not silent wrong answers.
+func TestBuildRejectsMalformed(t *testing.T) {
+	good := anonmodel.Partition{
+		Box:     attr.Box{{Lo: 0, Hi: 1}, {Lo: 0, Hi: 1}},
+		Records: []attr.Record{{ID: 1, QI: []float64{0, 0}}},
+	}
+	if _, err := routing.Build([]anonmodel.Partition{good, {Box: attr.Box{{Lo: 0, Hi: 1}}}}, routing.Options{}); err == nil {
+		t.Fatal("mixed dimensionality must be rejected")
+	}
+	if _, err := routing.Build([]anonmodel.Partition{good, {Box: attr.NewBox(2)}}, routing.Options{}); err == nil {
+		t.Fatal("empty box must be rejected")
+	}
+}
+
+// TestEqualKeysStayTogether: duplicate min-corners never straddle a
+// block boundary, so block key ranges stay disjoint even when every
+// partition shares one key.
+func TestEqualKeysStayTogether(t *testing.T) {
+	var ps []anonmodel.Partition
+	for i := 0; i < 37; i++ {
+		ps = append(ps, anonmodel.Partition{
+			Box:     attr.Box{{Lo: 5, Hi: 6}, {Lo: 5, Hi: 6}},
+			Records: []attr.Record{{ID: int64(i), QI: []float64{5, 5}}},
+		})
+	}
+	ix, err := routing.Build(ps, routing.Options{BlockSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.NumBlocks() != 1 {
+		t.Fatalf("37 equal keys split into %d blocks, want 1", ix.NumBlocks())
+	}
+	var s routing.Scratch
+	if got := ix.PointCount([]float64{5.5, 5.5}, &s); got != 37 {
+		t.Fatalf("point count %d, want 37", got)
+	}
+}
+
+// TestZeroAllocLookups pins the zero-alloc contract of every lookup on
+// a warm scratch.
+func TestZeroAllocLookups(t *testing.T) {
+	ps, recs := release(t, 4000, 9, 10)
+	ranges := query.FullRangeWorkload(recs, 64, 13)
+	points := query.PointWorkload(recs, 64, 14)
+	for _, curve := range []sfc.Curve{sfc.ZOrder, sfc.Hilbert} {
+		ix, err := routing.Build(ps, routing.Options{Curve: curve})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var s routing.Scratch
+		// Warm the scratch buffers once.
+		ix.PointCount(points[0], &s)
+		ix.RangeCount(ranges[0], &s)
+		ix.Estimate(ranges[0], &s)
+		i := 0
+		if a := testing.AllocsPerRun(100, func() { ix.PointCount(points[i%len(points)], &s); i++ }); a != 0 {
+			t.Errorf("curve=%v PointCount: %v allocs/op, want 0", curve, a)
+		}
+		if a := testing.AllocsPerRun(100, func() { ix.RangeCount(ranges[i%len(ranges)], &s); i++ }); a != 0 {
+			t.Errorf("curve=%v RangeCount: %v allocs/op, want 0", curve, a)
+		}
+		if a := testing.AllocsPerRun(100, func() { ix.Estimate(ranges[i%len(ranges)], &s); i++ }); a != 0 {
+			t.Errorf("curve=%v Estimate: %v allocs/op, want 0", curve, a)
+		}
+	}
+}

@@ -1,0 +1,21 @@
+package routing
+
+import "testing"
+
+// TestSortByCand exercises the allocation-free pair sort directly.
+func TestSortByCand(t *testing.T) {
+	cand := []int32{9, 3, 7, 1, 8, 2, 6, 0, 5, 4, 13, 11, 12, 10, 15, 14}
+	contrib := make([]float64, len(cand))
+	for i, c := range cand {
+		contrib[i] = float64(c) * 1.5
+	}
+	sortByCand(cand, contrib)
+	for i := range cand {
+		if int(cand[i]) != i {
+			t.Fatalf("cand[%d] = %d", i, cand[i])
+		}
+		if contrib[i] != float64(i)*1.5 {
+			t.Fatalf("contrib[%d] = %v, want %v (pairs must move together)", i, contrib[i], float64(i)*1.5)
+		}
+	}
+}

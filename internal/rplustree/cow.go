@@ -49,17 +49,49 @@ func (t *Tree) SnapshotLeaves(prev []LeafView) []LeafView {
 	gen := t.snapGen
 	t.snapGen++
 	cur := t.snapGen
-	out := make([]LeafView, 0, len(prev)+1)
+	reusable := func(n *node) bool {
+		return gen > 0 && n.snapGen == gen && n.snapVer == n.ver && n.snapIdx < len(prev)
+	}
+	// First pass: size the snapshot, so the copied leaves land in two
+	// flat arenas — one record array and one interval array per
+	// snapshot instead of two allocations per changed leaf. Arena
+	// slices are published with full three-index expressions and the
+	// arenas are sized exactly, so no append below can ever reallocate
+	// or let one leaf's slice reach into the next; shared backing is
+	// safe because every LeafView is immutable once returned (the same
+	// contract prev reuse already relies on).
+	leaves, changedLeaves, changedRecs := 0, 0, 0
 	t.walkLeaves(t.root, func(n *node) {
 		if len(n.recs) == 0 {
 			return
 		}
-		if gen > 0 && n.snapGen == gen && n.snapVer == n.ver && n.snapIdx < len(prev) {
+		leaves++
+		if !reusable(n) {
+			changedLeaves++
+			changedRecs += len(n.recs)
+		}
+	})
+	dims := t.cfg.Schema.Dims()
+	recArena := make([]attr.Record, 0, changedRecs)
+	boxArena := make([]attr.Interval, 0, changedLeaves*dims)
+	out := make([]LeafView, 0, leaves)
+	t.walkLeaves(t.root, func(n *node) {
+		if len(n.recs) == 0 {
+			return
+		}
+		if reusable(n) {
 			out = append(out, prev[n.snapIdx])
 		} else {
-			recs := make([]attr.Record, len(n.recs))
-			copy(recs, n.recs)
-			out = append(out, LeafView{MBR: n.mbr.Clone(), Records: recs})
+			rs := len(recArena)
+			recArena = append(recArena, n.recs...)
+			re := len(recArena)
+			bs := len(boxArena)
+			boxArena = append(boxArena, n.mbr...)
+			be := len(boxArena)
+			out = append(out, LeafView{
+				MBR:     attr.Box(boxArena[bs:be:be]),
+				Records: recArena[rs:re:re],
+			})
 		}
 		n.snapGen = cur
 		n.snapVer = n.ver

@@ -7,6 +7,7 @@ import (
 
 	"spatialanon/internal/attr"
 	"spatialanon/internal/dataset"
+	"spatialanon/internal/query"
 	"spatialanon/internal/rplustree"
 	"spatialanon/internal/wal"
 )
@@ -195,4 +196,69 @@ func BenchmarkServeReadsDuringWrites(b *testing.B) {
 	b.StopTimer()
 	close(stop)
 	<-writerDone
+}
+
+// BenchmarkServePointQuery: exact point counts through a view session,
+// accelerated versus the linear reference — the headline read-path
+// speedup of the routing accelerator. Warm accel queries must report
+// 0 allocs/op (-benchmem; CI pins this).
+func BenchmarkServePointQuery(b *testing.B) {
+	s, cleanup := benchServer(b, 20000)
+	defer cleanup()
+	v := s.View()
+	ps, err := v.Release(0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	points := query.PointWorkload(v.Records(), 512, 99)
+	b.Run("linear", func(b *testing.B) {
+		c := query.NewCounter(ps, nil)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c.Point(points[i%len(points)])
+		}
+	})
+	b.Run("accel", func(b *testing.B) {
+		c, err := v.Counter(0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		c.Point(points[0])
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c.Point(points[i%len(points)])
+		}
+	})
+}
+
+// BenchmarkServeRangeQuery: the same comparison for range counts.
+func BenchmarkServeRangeQuery(b *testing.B) {
+	s, cleanup := benchServer(b, 20000)
+	defer cleanup()
+	v := s.View()
+	ps, err := v.Release(0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ranges := query.FullRangeWorkload(v.Records(), 512, 99)
+	b.Run("linear", func(b *testing.B) {
+		c := query.NewCounter(ps, nil)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c.Range(ranges[i%len(ranges)])
+		}
+	})
+	b.Run("accel", func(b *testing.B) {
+		c, err := v.Counter(0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		c.Range(ranges[0])
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c.Range(ranges[i%len(ranges)])
+		}
+	})
 }

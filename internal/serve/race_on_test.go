@@ -1,0 +1,8 @@
+//go:build race
+
+package serve
+
+// raceEnabled gates assertions that the race runtime invalidates —
+// sync.Pool drops items randomly under -race, so pooled paths
+// legitimately re-allocate there.
+const raceEnabled = true

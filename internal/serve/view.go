@@ -8,6 +8,7 @@ import (
 	"spatialanon/internal/attr"
 	"spatialanon/internal/core"
 	"spatialanon/internal/query"
+	"spatialanon/internal/routing"
 	"spatialanon/internal/verify"
 )
 
@@ -44,7 +45,13 @@ type View struct {
 
 	mu    sync.Mutex
 	cache map[int]*releaseEntry
+	accel map[int]*accelEntry
 	recs  recordsEntry
+
+	// estPool recycles Count's estimator sessions so the one-shot
+	// convenience path stays allocation-light; long-lived readers
+	// should hold their own session from Estimator instead.
+	estPool sync.Pool
 }
 
 // recordsEntry memoizes the view's flattened record list.
@@ -60,6 +67,14 @@ type recordsEntry struct {
 type releaseEntry struct {
 	once sync.Once
 	ps   []Partition
+	err  error
+}
+
+// accelEntry memoizes one granularity's routing accelerator, built
+// and audited once per (epoch, k1) alongside the release cache.
+type accelEntry struct {
+	once sync.Once
+	idx  *routing.Index
 	err  error
 }
 
@@ -86,6 +101,7 @@ func (s *Server) publish() {
 		workers: s.opts.Parallelism,
 		leaves:  parts,
 		cache:   make(map[int]*releaseEntry),
+		accel:   make(map[int]*accelEntry),
 	}
 	s.epoch = v.epoch
 	s.cur.Store(v)
@@ -176,6 +192,72 @@ func (v *View) Release(k1 int) ([]Partition, error) {
 	return e.ps, e.err
 }
 
+// Accel returns the routing accelerator over the release at
+// granularity k1 (0 = base k), built lazily once per (epoch, k1)
+// alongside the release cache and audited by verify.Routing before
+// any reader can observe it. The returned Index is immutable and
+// shared; give each reader goroutine its own session (Counter /
+// Estimator) or routing.Scratch.
+func (v *View) Accel(k1 int) (*routing.Index, error) {
+	ps, err := v.Release(k1)
+	if err != nil {
+		return nil, err
+	}
+	if k1 == v.baseK {
+		k1 = 0
+	}
+	v.mu.Lock()
+	e, ok := v.accel[k1]
+	if !ok {
+		e = &accelEntry{}
+		v.accel[k1] = e
+	}
+	v.mu.Unlock()
+	e.once.Do(func() {
+		idx, err := routing.Build(ps, routing.Options{})
+		if err == nil {
+			err = verify.Routing(idx, ps)
+		}
+		if err != nil {
+			e.err = fmt.Errorf("serve: epoch %d accelerator at k1=%d: %w", v.epoch, k1, err)
+			return
+		}
+		e.idx = idx
+	})
+	return e.idx, e.err
+}
+
+// Counter returns a fresh exact-count session (point and range) over
+// the accelerated release at granularity k1. The session is owned by
+// the caller — one per goroutine — and its warm queries allocate
+// nothing.
+func (v *View) Counter(k1 int) (*query.Counter, error) {
+	ps, err := v.Release(k1)
+	if err != nil {
+		return nil, err
+	}
+	idx, err := v.Accel(k1)
+	if err != nil {
+		return nil, err
+	}
+	return query.NewCounter(ps, idx), nil
+}
+
+// Estimator returns a fresh uniform-assumption estimate session over
+// the accelerated release at granularity k1, with the same ownership
+// and zero-alloc contract as Counter.
+func (v *View) Estimator(k1 int) (*query.Estimator, error) {
+	ps, err := v.Release(k1)
+	if err != nil {
+		return nil, err
+	}
+	idx, err := v.Accel(k1)
+	if err != nil {
+		return nil, err
+	}
+	return query.NewEstimator(ps, idx), nil
+}
+
 // Records returns the view's records in trie order (the order the
 // leaf summary concatenates them), memoized. Read-only, like every
 // View product.
@@ -193,13 +275,21 @@ func (v *View) Records() []attr.Record {
 // Count estimates the number of records in the query box from the
 // anonymized base release under the uniformity assumption — the
 // serving-path answer to a range count, computed without touching the
-// live tree.
+// live tree. It routes through the epoch's block-range accelerator
+// (bit-identical to the linear query.EstimateUniform), borrowing a
+// pooled session; hot readers should hold their own Estimator.
 func (v *View) Count(q attr.Box) (float64, error) {
-	base, err := v.ensureBase()
-	if err != nil {
-		return 0, err
+	est, _ := v.estPool.Get().(*query.Estimator)
+	if est == nil {
+		var err error
+		est, err = v.Estimator(0)
+		if err != nil {
+			return 0, err
+		}
 	}
-	return query.EstimateUniform(base, q), nil
+	out := est.Estimate(q)
+	v.estPool.Put(est)
+	return out, nil
 }
 
 // Evaluate runs the query-accuracy evaluator against this view's base

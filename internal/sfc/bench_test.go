@@ -1,0 +1,38 @@
+package sfc
+
+import (
+	"testing"
+
+	"spatialanon/internal/anonmodel"
+	"spatialanon/internal/attr"
+	"spatialanon/internal/dataset"
+)
+
+// BenchmarkQuantizerKey is the regression benchmark for the zero-alloc
+// key path: run with -benchmem, both curves must report 0 allocs/op.
+func BenchmarkQuantizerKey(b *testing.B) {
+	recs := dataset.GenerateLandsEnd(1024, 99)
+	q, err := NewQuantizer(attr.DomainOf(len(recs[0].QI), recs), 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, c := range []Curve{ZOrder, Hilbert} {
+		b.Run(c.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				q.Key(c, recs[i%len(recs)].QI)
+			}
+		})
+	}
+}
+
+// BenchmarkAnonymize tracks the bulk path that KeyInto feeds.
+func BenchmarkAnonymize(b *testing.B) {
+	recs := dataset.GenerateLandsEnd(4096, 99)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Anonymize(recs, Hilbert, anonmodel.KAnonymity{K: 10}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

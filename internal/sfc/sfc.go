@@ -78,12 +78,19 @@ func (q *Quantizer) Bits() int { return q.bits }
 
 // Cell maps a point to grid coordinates, clamping to the domain.
 func (q *Quantizer) Cell(p []float64) []uint32 {
-	out := make([]uint32, len(q.domain))
+	return q.AppendCell(make([]uint32, 0, len(q.domain)), p)
+}
+
+// AppendCell maps a point to grid coordinates, clamping to the domain,
+// and appends them to dst — the no-alloc variant of Cell for hot read
+// paths: with a reused dst of sufficient capacity it allocates
+// nothing.
+func (q *Quantizer) AppendCell(dst []uint32, p []float64) []uint32 {
 	max := float64(uint64(1)<<q.bits) - 1
 	for i, iv := range q.domain {
 		w := iv.Width()
 		if w <= 0 {
-			out[i] = 0
+			dst = append(dst, 0)
 			continue
 		}
 		f := (p[i] - iv.Lo) / w
@@ -93,20 +100,32 @@ func (q *Quantizer) Cell(p []float64) []uint32 {
 		if f > 1 {
 			f = 1
 		}
-		out[i] = uint32(f * max)
+		dst = append(dst, uint32(f*max))
 	}
-	return out
+	return dst
 }
 
 // Key returns the curve position of a point.
 func (q *Quantizer) Key(c Curve, p []float64) uint64 {
-	cell := q.Cell(p)
-	switch c {
-	case Hilbert:
-		return HilbertKey(cell, q.bits)
-	default:
-		return ZOrderKey(cell, q.bits)
+	// dims*bits <= 64 with bits >= 1 bounds dims at 64, so one stack
+	// cell buffer covers every legal quantizer and Key allocates
+	// nothing.
+	var buf [64]uint32
+	key, _ := q.KeyInto(c, p, buf[:0])
+	return key
+}
+
+// KeyInto is Key with caller-owned scratch: the cell is quantized into
+// buf (reusing its capacity; contents are overwritten) and the curve
+// position is returned along with the scratch for the next call. Once
+// buf has capacity for one cell per dimension, KeyInto allocates
+// nothing — the contract the per-query read path is pinned to.
+func (q *Quantizer) KeyInto(c Curve, p []float64, buf []uint32) (uint64, []uint32) {
+	buf = q.AppendCell(buf[:0], p)
+	if c == Hilbert {
+		axesToTranspose(buf, q.bits)
 	}
+	return ZOrderKey(buf, q.bits), buf
 }
 
 // ZOrderKey interleaves the low `bits` bits of each coordinate, highest
@@ -240,8 +259,9 @@ func Anonymize(recs []attr.Record, c Curve, constraint anonmodel.Constraint) ([]
 	}
 	keys := make([]uint64, len(recs))
 	idx := make([]int, len(recs))
+	var cell []uint32
 	for i, r := range recs {
-		keys[i] = q.Key(c, r.QI)
+		keys[i], cell = q.KeyInto(c, r.QI, cell)
 		idx[i] = i
 	}
 	sort.SliceStable(idx, func(a, b int) bool { return keys[idx[a]] < keys[idx[b]] })

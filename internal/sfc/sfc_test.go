@@ -258,3 +258,61 @@ func TestCurveString(t *testing.T) {
 		t.Fatal("unknown curve name wrong")
 	}
 }
+
+func TestAppendCellMatchesCell(t *testing.T) {
+	domain := attr.Box{{Lo: -5, Hi: 5}, {Lo: 0, Hi: 1}, {Lo: 100, Hi: 200}}
+	q, err := NewQuantizer(domain, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(62))
+	buf := make([]uint32, 0, 3)
+	for i := 0; i < 200; i++ {
+		p := []float64{rng.Float64()*20 - 10, rng.Float64() * 2, rng.Float64() * 300}
+		want := q.Cell(p)
+		buf = q.AppendCell(buf[:0], p)
+		for d := range want {
+			if buf[d] != want[d] {
+				t.Fatalf("AppendCell(%v) = %v, Cell = %v", p, buf, want)
+			}
+		}
+	}
+}
+
+func TestKeyIntoMatchesKey(t *testing.T) {
+	recs := dataset.GenerateLandsEnd(500, 63)
+	domain := attr.DomainOf(len(recs[0].QI), recs)
+	q, err := NewQuantizer(domain, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []Curve{ZOrder, Hilbert} {
+		var buf []uint32
+		for _, r := range recs {
+			want := q.Key(c, r.QI)
+			var got uint64
+			got, buf = q.KeyInto(c, r.QI, buf)
+			if got != want {
+				t.Fatalf("curve=%v KeyInto(%v) = %d, Key = %d", c, r.QI, got, want)
+			}
+		}
+	}
+}
+
+func TestKeyPathsZeroAlloc(t *testing.T) {
+	recs := dataset.GenerateLandsEnd(64, 64)
+	q, err := NewQuantizer(attr.DomainOf(len(recs[0].QI), recs), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []Curve{ZOrder, Hilbert} {
+		i := 0
+		if a := testing.AllocsPerRun(100, func() { q.Key(c, recs[i%len(recs)].QI); i++ }); a != 0 {
+			t.Errorf("curve=%v Key: %v allocs/op, want 0", c, a)
+		}
+		buf := make([]uint32, 0, len(recs[0].QI))
+		if a := testing.AllocsPerRun(100, func() { _, buf = q.KeyInto(c, recs[i%len(recs)].QI, buf); i++ }); a != 0 {
+			t.Errorf("curve=%v KeyInto: %v allocs/op, want 0", c, a)
+		}
+	}
+}

@@ -29,6 +29,7 @@ import (
 
 	"spatialanon/internal/anonmodel"
 	"spatialanon/internal/attr"
+	"spatialanon/internal/routing"
 	"spatialanon/internal/rplustree"
 )
 
@@ -185,6 +186,120 @@ func Releases(sets [][]anonmodel.Partition, k int) error {
 		}
 	}
 	return nil
+}
+
+// Routing audits a block-range accelerator against the release it
+// claims to cover. A wrong accelerator is a silently wrong COUNT on
+// the hottest path, so — like Tree and Release — the audit re-derives
+// everything from the release itself instead of trusting the index's
+// bookkeeping: every partition covered by exactly one block position,
+// stored bounds/sizes/volumes bit-identical to the release, curve
+// keys recomputed through the index's own quantizer and strictly
+// ordered (ties by original index), block key ranges sorted and
+// pairwise disjoint, and every block MBR exactly the union of its
+// members' boxes.
+func Routing(ix *routing.Index, ps []anonmodel.Partition) error {
+	if ix == nil {
+		return fmt.Errorf("verify: nil routing index")
+	}
+	n := ix.Len()
+	if n != len(ps) {
+		return fmt.Errorf("verify: routing index covers %d partitions, release has %d", n, len(ps))
+	}
+	if n == 0 {
+		if ix.NumBlocks() != 0 {
+			return fmt.Errorf("verify: empty routing index has %d blocks", ix.NumBlocks())
+		}
+		return nil
+	}
+	quant := ix.Quantizer()
+	if quant == nil {
+		return fmt.Errorf("verify: routing index has no quantizer")
+	}
+	dims := len(ps[0].Box)
+	seen := make([]bool, n)
+	corner := make([]float64, dims)
+	var cell []uint32
+	for pos := 0; pos < n; pos++ {
+		oi := ix.PosOrig(pos)
+		if oi < 0 || oi >= n {
+			return fmt.Errorf("verify: routing position %d maps to partition %d, out of range", pos, oi)
+		}
+		if seen[oi] {
+			return fmt.Errorf("verify: partition %d covered by two routing positions", oi)
+		}
+		seen[oi] = true
+		p := ps[oi]
+		if !ix.PosBox(pos).Equal(p.Box) {
+			return fmt.Errorf("verify: routing position %d stores box %v, partition %d has %v", pos, ix.PosBox(pos), oi, p.Box)
+		}
+		if ix.PosSize(pos) != len(p.Records) {
+			return fmt.Errorf("verify: routing position %d stores size %d, partition %d holds %d records", pos, ix.PosSize(pos), oi, len(p.Records))
+		}
+		if got, want := ix.PosVol(pos), lattice(p.Box); got != want {
+			return fmt.Errorf("verify: routing position %d stores cell volume %v, want %v", pos, got, want)
+		}
+		for a := 0; a < dims; a++ {
+			corner[a] = p.Box[a].Lo
+		}
+		var key uint64
+		key, cell = quant.KeyInto(ix.Curve(), corner, cell)
+		if key != ix.PosKey(pos) {
+			return fmt.Errorf("verify: routing position %d stores key %d, recomputed %d", pos, ix.PosKey(pos), key)
+		}
+		if pos > 0 {
+			prevKey, prevOrig := ix.PosKey(pos-1), ix.PosOrig(pos-1)
+			if prevKey > key || (prevKey == key && prevOrig >= oi) {
+				return fmt.Errorf("verify: routing positions %d and %d out of curve order", pos-1, pos)
+			}
+		}
+	}
+	// Blocks: contiguous, covering, key ranges consistent with the
+	// positions they span and disjoint from their neighbors, MBRs the
+	// exact union of their members.
+	nb := ix.NumBlocks()
+	wantStart := 0
+	for b := 0; b < nb; b++ {
+		start, end, keyLo, keyHi := ix.Block(b)
+		if start != wantStart || end <= start || end > n {
+			return fmt.Errorf("verify: routing block %d spans [%d,%d), want start %d within %d positions", b, start, end, wantStart, n)
+		}
+		wantStart = end
+		if keyLo != ix.PosKey(start) || keyHi != ix.PosKey(end-1) {
+			return fmt.Errorf("verify: routing block %d key range [%d,%d] disagrees with member keys [%d,%d]", b, keyLo, keyHi, ix.PosKey(start), ix.PosKey(end-1))
+		}
+		if b > 0 {
+			_, _, _, prevHi := ix.Block(b - 1)
+			if prevHi >= keyLo {
+				return fmt.Errorf("verify: routing blocks %d and %d have overlapping key ranges", b-1, b)
+			}
+		}
+		union := attr.NewBox(dims)
+		for pos := start; pos < end; pos++ {
+			union.IncludeBox(ps[ix.PosOrig(pos)].Box)
+		}
+		if !ix.BlockBox(b).Equal(union) {
+			return fmt.Errorf("verify: routing block %d MBR %v not tight (want %v)", b, ix.BlockBox(b), union)
+		}
+	}
+	if wantStart != n {
+		return fmt.Errorf("verify: routing blocks cover %d positions, index has %d", wantStart, n)
+	}
+	return nil
+}
+
+// lattice independently recomputes the integer-lattice cell count the
+// uniform estimator divides by (query's cells function).
+func lattice(b attr.Box) float64 {
+	c := 1.0
+	for _, iv := range b {
+		w := math.Round(iv.Hi - iv.Lo)
+		if w < 0 {
+			w = 0
+		}
+		c *= w + 1
+	}
+	return c
 }
 
 // regionWithin reports half-open region containment: child inside

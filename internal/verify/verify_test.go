@@ -7,7 +7,9 @@ import (
 	"spatialanon/internal/anonmodel"
 	"spatialanon/internal/attr"
 	"spatialanon/internal/dataset"
+	"spatialanon/internal/routing"
 	"spatialanon/internal/rplustree"
+	"spatialanon/internal/sfc"
 )
 
 func patientTree(t *testing.T, k, n int, seed int64) *rplustree.Tree {
@@ -115,5 +117,61 @@ func TestReleasesKBoundness(t *testing.T) {
 	dup := rel(part(b, 1, 2, 3), part(b, 1, 4, 5, 6))
 	if err := Releases([][]anonmodel.Partition{fine, dup}, 3); err == nil {
 		t.Fatal("duplicate within release not flagged")
+	}
+}
+
+func TestRoutingAudit(t *testing.T) {
+	recs := dataset.GeneratePatients(600, 33)
+	ps, err := sfc.Anonymize(recs, sfc.Hilbert, anonmodel.KAnonymity{K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, opt := range []routing.Options{
+		{},
+		{Curve: sfc.Hilbert, BlockSize: 7},
+		{Curve: sfc.ZOrder, BlockSize: 1},
+	} {
+		ix, err := routing.Build(ps, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := Routing(ix, ps); err != nil {
+			t.Fatalf("audit of valid accelerator (%+v): %v", opt, err)
+		}
+	}
+
+	// The audit is against the release, not the index's own copy: an
+	// index built over a tampered release must be caught when checked
+	// against the real one.
+	ix, err := routing.Build(ps, routing.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Routing(nil, ps); err == nil {
+		t.Error("nil index accepted")
+	}
+	if err := Routing(ix, ps[:len(ps)-1]); err == nil {
+		t.Error("partition count mismatch accepted")
+	}
+	grown := append([]anonmodel.Partition(nil), ps...)
+	grown[3].Records = append(append([]attr.Record(nil), grown[3].Records...), attr.Record{ID: -1, QI: grown[3].Records[0].QI})
+	if err := Routing(ix, grown); err == nil {
+		t.Error("stale partition size accepted")
+	}
+	moved := append([]anonmodel.Partition(nil), ps...)
+	movedBox := append(attr.Box(nil), moved[5].Box...)
+	movedBox[0].Lo -= 10
+	moved[5].Box = movedBox
+	if err := Routing(ix, moved); err == nil {
+		t.Error("stale partition box accepted")
+	}
+
+	// Empty release: a valid, empty index.
+	empty, err := routing.Build(nil, routing.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Routing(empty, nil); err != nil {
+		t.Errorf("audit of empty accelerator: %v", err)
 	}
 }
