@@ -6,7 +6,7 @@ GO ?= go
 # writes a new baseline without editing the Makefile.
 BENCH ?= BENCH_PR7.json
 
-.PHONY: all build test vet lint race chaos chaos-serve crash throughput zeroalloc read-bench fuzz bench cover experiments examples clean
+.PHONY: all build test vet lint lint-json race chaos chaos-serve crash throughput zeroalloc read-bench fuzz bench cover experiments examples clean
 
 all: vet test
 
@@ -15,7 +15,9 @@ build:
 
 # `make vet` is the whole static gate: the stock go vet suite plus
 # anonylint, the project's multichecker (internal/lint) — pager
-# confinement, determinism, panic policy and k-parameter validation.
+# confinement, determinism, panic policy, k-parameter validation,
+# publish-freeze immutability, zero-alloc enforcement and error
+# taxonomy (wrapping) hygiene.
 vet:
 	$(GO) vet ./...
 	$(GO) run ./cmd/anonylint ./...
@@ -23,6 +25,11 @@ vet:
 # anonylint alone, for quick iteration on lint findings.
 lint:
 	$(GO) run ./cmd/anonylint ./...
+
+# anonylint with machine-readable output (one JSON object per finding),
+# for CI annotation and tooling.
+lint-json:
+	$(GO) run ./cmd/anonylint -json ./...
 
 # `make test` always vets first: the robustness layer threads errors
 # through many call sites and vet's unused-result checks are cheap
@@ -32,7 +39,7 @@ lint:
 # correctness bugs in the determinism guarantee, not perf noise.
 test: vet
 	$(GO) test ./...
-	$(GO) test -race ./internal/par ./internal/rplustree ./internal/mondrian ./internal/core ./internal/serve ./internal/wal
+	$(GO) test -race ./internal/par ./internal/rplustree ./internal/mondrian ./internal/core ./internal/serve ./internal/wal ./internal/lint/...
 
 # Full suite under the race detector.
 race:

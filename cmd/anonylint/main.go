@@ -1,22 +1,32 @@
-// Command anonylint is the project's multichecker: it runs the four
-// project-specific analyzers (pagerconfine, detrand, panicpolicy,
-// kparam — see internal/lint) over the given package patterns and
-// exits nonzero when any finding is reported.
+// Command anonylint is the project's multichecker: it runs the seven
+// project-specific analyzers (pagerconfine, kparam, pubfreeze,
+// noalloc, errwrap, detrand, panicpolicy — see internal/lint) over
+// the given package patterns and exits nonzero when any finding is
+// reported.
 //
 // Usage:
 //
-//	anonylint [-list] [packages]
+//	anonylint [-list] [-json] [packages]
 //
 // Patterns default to ./... and follow the go tool's directory-pattern
 // forms ("./...", "./internal/query"). anonylint must run from inside
 // the module so module-local imports resolve. Findings print as
 //
 //	path/file.go:line:col: analyzer: message
+//
+// or, with -json, as one JSON object per line:
+//
+//	{"file":"path/file.go","line":12,"col":3,"analyzer":"noalloc","message":"…"}
+//
+// — the machine-readable form CI uses to turn findings into per-line
+// annotations instead of a raw log dump.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -28,8 +38,9 @@ import (
 
 func main() {
 	list := flag.Bool("list", false, "list the analyzers and their scopes, then exit")
+	asJSON := flag.Bool("json", false, "emit findings as JSON Lines instead of file:line:col text")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: anonylint [-list] [packages]\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: anonylint [-list] [-json] [packages]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -40,32 +51,46 @@ func main() {
 		}
 		return
 	}
-	n, err := run(flag.Args(), os.Stdout)
+	findings, err := run(flag.Args())
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "anonylint: %v\n", err)
 		os.Exit(2)
 	}
-	if n > 0 {
+	if err := print(os.Stdout, findings, *asJSON); err != nil {
+		fmt.Fprintf(os.Stderr, "anonylint: %v\n", err)
+		os.Exit(2)
+	}
+	if len(findings) > 0 {
 		os.Exit(1)
 	}
 }
 
-// run loads the patterns, applies the suite and prints findings,
-// returning how many were reported.
-func run(patterns []string, out *os.File) (int, error) {
+// finding is one diagnostic in resolved file:line form — the unit both
+// output modes print.
+type finding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// run loads the patterns and applies the suite, collecting findings in
+// package order (positions are sorted within each analyzer's output).
+func run(patterns []string) ([]finding, error) {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
 	cwd, err := os.Getwd()
 	if err != nil {
-		return 0, err
+		return nil, err
 	}
 	pkgs, err := load.NewLoader().Patterns(cwd, patterns)
 	if err != nil {
-		return 0, err
+		return nil, err
 	}
 	suite := lint.Suite()
-	count := 0
+	var findings []finding
 	for _, pkg := range pkgs {
 		for _, a := range suite {
 			if !a.Applies(pkg.Path) {
@@ -73,16 +98,40 @@ func run(patterns []string, out *os.File) (int, error) {
 			}
 			diags, err := analysis.Run(a.Analyzer, pkg.Fset, pkg.Files, pkg.Types, pkg.Info)
 			if err != nil {
-				return count, fmt.Errorf("%s on %s: %w", a.Name, pkg.Path, err)
+				return findings, fmt.Errorf("%s on %s: %w", a.Name, pkg.Path, err)
 			}
 			for _, d := range diags {
 				pos := pkg.Fset.Position(d.Pos)
-				fmt.Fprintf(out, "%s:%d:%d: %s\n", relTo(cwd, pos.Filename), pos.Line, pos.Column, d.Message)
-				count++
+				findings = append(findings, finding{
+					File:     relTo(cwd, pos.Filename),
+					Line:     pos.Line,
+					Col:      pos.Column,
+					Analyzer: d.Analyzer,
+					Message:  d.Message,
+				})
 			}
 		}
 	}
-	return count, nil
+	return findings, nil
+}
+
+// print writes the findings as text or JSON Lines.
+func print(out io.Writer, findings []finding, asJSON bool) error {
+	if asJSON {
+		enc := json.NewEncoder(out)
+		for _, f := range findings {
+			if err := enc.Encode(f); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, f := range findings {
+		if _, err := fmt.Fprintf(out, "%s:%d:%d: %s\n", f.File, f.Line, f.Col, f.Message); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func relTo(base, path string) string {

@@ -30,6 +30,8 @@ type Partition struct {
 }
 
 // Size returns the number of records in the partition.
+//
+//anonylint:zero-alloc
 func (p Partition) Size() int { return len(p.Records) }
 
 // Validate checks the partition's internal consistency: every record's

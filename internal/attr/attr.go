@@ -152,6 +152,8 @@ func (iv Interval) IsEmpty() bool { return iv.Lo > iv.Hi }
 
 // Width returns Hi-Lo, or 0 for an empty interval. A single point has
 // width 0.
+//
+//anonylint:zero-alloc
 func (iv Interval) Width() float64 {
 	if iv.IsEmpty() {
 		return 0
@@ -262,6 +264,8 @@ func (b Box) Clone() Box {
 
 // IsEmpty reports whether any dimension is empty (so the box contains no
 // points). A zero-dimensional box is considered empty.
+//
+//anonylint:zero-alloc
 func (b Box) IsEmpty() bool {
 	if len(b) == 0 {
 		return true
@@ -275,6 +279,8 @@ func (b Box) IsEmpty() bool {
 }
 
 // Contains reports whether the point p lies inside the box.
+//
+//anonylint:zero-alloc
 func (b Box) Contains(p []float64) bool {
 	if len(p) != len(b) {
 		return false
@@ -306,6 +312,8 @@ func (b Box) ContainsBox(o Box) bool {
 // Intersects reports whether the two boxes share a point. A record's
 // generalized box "matches" a range query exactly when this is true
 // (Section 5.4).
+//
+//anonylint:zero-alloc
 func (b Box) Intersects(o Box) bool {
 	if len(b) != len(o) || b.IsEmpty() || o.IsEmpty() {
 		return false

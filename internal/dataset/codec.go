@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"encoding/binary"
 	"encoding/csv"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -88,7 +89,7 @@ func (c *BinaryCodec) ReadBinary(r io.Reader) ([]attr.Record, error) {
 			if err == io.EOF {
 				return out, nil
 			}
-			if err == io.ErrUnexpectedEOF {
+			if errors.Is(err, io.ErrUnexpectedEOF) {
 				return nil, fmt.Errorf("dataset: truncated record at id %d", id)
 			}
 			return nil, err
@@ -168,7 +169,7 @@ func ReadCSV(r io.Reader, s *attr.Schema) ([]attr.Record, error) {
 		for i := range qi {
 			v, err := strconv.ParseFloat(row[i], 64)
 			if err != nil {
-				return nil, fmt.Errorf("dataset: row %d column %q: %v", ri+1, s.Attrs[i].Name, err)
+				return nil, fmt.Errorf("dataset: row %d column %q: %w", ri+1, s.Attrs[i].Name, err)
 			}
 			// ParseFloat accepts "NaN" and "Inf"; neither has a place in a
 			// half-open spatial domain (NaN breaks every comparison, Inf

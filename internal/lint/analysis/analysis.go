@@ -17,7 +17,6 @@ import (
 	"go/token"
 	"go/types"
 	"sort"
-	"strings"
 )
 
 // Analyzer describes one static check.
@@ -184,47 +183,15 @@ func (p *Pass) StaticFunc(fun ast.Expr) *types.Func {
 // CommentLines returns, per file, the set of lines on which a comment
 // containing marker appears (any line spanned by the comment group).
 // Analyzers use it to honor justification markers such as
-// "invariant:".
+// "invariant:". The scanning itself lives in directive.go
+// (DirectiveLines), shared by every analyzer and table-tested on its
+// own.
 func (p *Pass) CommentLines(marker string) map[*ast.File]map[int]bool {
 	out := make(map[*ast.File]map[int]bool)
 	for _, f := range p.Files {
-		lines := make(map[int]bool)
-		for _, cg := range f.Comments {
-			if !strings.Contains(cg.Text(), marker) && !containsMarker(cg, marker) {
-				continue
-			}
-			start := p.Fset.Position(cg.Pos()).Line
-			end := p.Fset.Position(cg.End()).Line
-			for l := start; l <= end; l++ {
-				lines[l] = true
-			}
-		}
-		out[f] = lines
+		out[f] = DirectiveLines(p.Fset, f, marker)
 	}
 	return out
-}
-
-// containsMarker scans the raw comment text: cg.Text() strips comment
-// markers and directive-style lines ("//anonylint:..." is dropped by
-// Text), so directives are matched against the raw source form.
-func containsMarker(cg *ast.CommentGroup, marker string) bool {
-	for _, c := range cg.List {
-		if strings.Contains(c.Text, marker) {
-			return true
-		}
-	}
-	return false
-}
-
-// DeclDirective reports whether a declaration's doc comment carries the
-// given directive (for example "anonylint:coordinator-only"). Directive
-// comments are matched on the raw text because ast.CommentGroup.Text
-// strips "//word:rest" directive lines.
-func DeclDirective(doc *ast.CommentGroup, directive string) bool {
-	if doc == nil {
-		return false
-	}
-	return containsMarker(doc, directive)
 }
 
 // EnclosingFile returns the file containing pos.

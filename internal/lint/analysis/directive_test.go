@@ -1,0 +1,210 @@
+package analysis_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+
+	"spatialanon/internal/lint/analysis"
+)
+
+// mustParse parses src with comments, as the fixture loader does.
+func mustParse(t *testing.T, src string) (*token.FileSet, *ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fixture.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parsing test source: %v", err)
+	}
+	return fset, f
+}
+
+// TestDirectiveLines pins the line-directive scanning rules every
+// analyzer shares: which lines a marker covers, that a marker on the
+// wrong line stays on the wrong line, that trailing justification text
+// and duplicates are fine, and that directive-style comments —
+// stripped by ast.CommentGroup.Text — are still seen.
+func TestDirectiveLines(t *testing.T) {
+	const src = `package fixture
+
+func a() {
+	x := 1 // anonylint:marked ordinary trailing comment form
+	_ = x
+}
+
+func b() {
+	// anonylint:marked — trailing justification text after the marker
+	y := 2
+	_ = y
+}
+
+func c() {
+	//anonylint:marked directive form: Text() strips this line entirely
+	z := 3
+	_ = z
+}
+
+func d() {
+	// anonylint:marked anonylint:marked duplicated on one line
+	w := 4
+	_ = w
+}
+
+func e() {
+	// a marker on the wrong line must not bleed onto neighbors
+	// anonylint:marked
+	v := 5
+	_ = v
+}
+
+/*
+anonylint:marked
+block comments cover every line they span
+*/
+func f() {}
+`
+	fset, file := mustParse(t, src)
+	got := analysis.DirectiveLines(fset, file, "anonylint:marked")
+
+	// Expected marked lines, by construction of src above:
+	//   4: trailing comment on the statement line
+	//   9: own-line comment with trailing text
+	//  15: directive-style comment (raw-text match)
+	//  21: duplicated marker, still just its own line
+	//  27-28: e's comment group spans both lines — but NOT 29 (v := 5)
+	//  33-36: the block comment's span
+	want := map[int]bool{
+		4: true, 9: true, 15: true, 21: true,
+		27: true, 28: true,
+		33: true, 34: true, 35: true, 36: true,
+	}
+	for l := range want {
+		if !got[l] {
+			t.Errorf("line %d: expected marked, got unmarked", l)
+		}
+	}
+	for l := range got {
+		if !want[l] {
+			t.Errorf("line %d: marked unexpectedly", l)
+		}
+	}
+	// The wrong-line case, stated explicitly: the statement line below
+	// e's comment group is unmarked — a directive on the line above a
+	// statement suppresses only what analyzers look up on ITS lines.
+	if got[29] {
+		t.Errorf("line 29: marker bled onto the statement below the comment group")
+	}
+	if n := len(analysis.DirectiveLines(fset, file, "anonylint:absent")); n != 0 {
+		t.Errorf("absent marker matched %d lines, want 0", n)
+	}
+}
+
+// declDoc returns the doc comment of the named type or function
+// declaration in f.
+func declDoc(t *testing.T, f *ast.File, name string) *ast.CommentGroup {
+	t.Helper()
+	for _, d := range f.Decls {
+		switch d := d.(type) {
+		case *ast.FuncDecl:
+			if d.Name.Name == name {
+				return d.Doc
+			}
+		case *ast.GenDecl:
+			for _, spec := range d.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok || ts.Name.Name != name {
+					continue
+				}
+				if ts.Doc != nil {
+					return ts.Doc
+				}
+				return d.Doc
+			}
+		}
+	}
+	t.Fatalf("declaration %s not found in test source", name)
+	return nil
+}
+
+// TestDeclDirective pins the declaration-directive rules: directives in
+// doc comments are found in raw-directive and prose form, trailing text
+// and duplicates are fine, nil docs are false, and a directive inside a
+// function body (the wrong place) does not mark the declaration.
+func TestDeclDirective(t *testing.T) {
+	const src = `package fixture
+
+//anonylint:published
+type Raw struct{}
+
+// Prose carries the anonylint:published marker inline with text.
+type Prose struct{}
+
+//anonylint:published trailing justification text is the claim
+//anonylint:published duplicated across lines
+type Dup struct{}
+
+type Unmarked struct{}
+
+// wrongPlace has the directive in the body, not the doc.
+func wrongPlace() {
+	//anonylint:published
+}
+`
+	_, f := mustParse(t, src)
+	cases := []struct {
+		name string
+		want bool
+	}{
+		{"Raw", true},
+		{"Prose", true},
+		{"Dup", true},
+		{"Unmarked", false},
+		{"wrongPlace", false}, // directive inside the body, not the doc
+	}
+	for _, tc := range cases {
+		if got := analysis.DeclDirective(declDoc(t, f, tc.name), "anonylint:published"); got != tc.want {
+			t.Errorf("%s: DeclDirective = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+	if analysis.DeclDirective(nil, "anonylint:published") {
+		t.Error("nil doc comment: DeclDirective = true, want false")
+	}
+}
+
+// TestDirectiveInsideFixtureSource pins the interplay every analyzer
+// fixture relies on: a fixture line may carry BOTH a suppression
+// directive and analysistest want-expectations elsewhere, and the
+// directive scanner must match its own marker only — a "// want"
+// comment is not a directive, and a directive is not a want comment.
+func TestDirectiveInsideFixtureSource(t *testing.T) {
+	const src = `package fixture
+
+func g(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m { // anonylint:map-ordered — the sum is exact
+		total += v
+	}
+	return total
+}
+
+func h(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total += v // want ` + "`detrand: floating-point accumulation`" + `
+	}
+	return total
+}
+`
+	fset, f := mustParse(t, src)
+	ordered := analysis.DirectiveLines(fset, f, "anonylint:map-ordered")
+	if !ordered[5] {
+		t.Error("line 5: suppression directive inside fixture source not seen")
+	}
+	if len(ordered) != 1 {
+		t.Errorf("map-ordered marked %d lines, want 1", len(ordered))
+	}
+	if wants := analysis.DirectiveLines(fset, f, "anonylint:"); wants[14] {
+		t.Error("line 14: a want comment matched an anonylint: directive scan")
+	}
+}

@@ -118,11 +118,11 @@ func parseWant(text string) ([]*regexp.Regexp, error) {
 		}
 		s, err := strconv.Unquote(lit)
 		if err != nil {
-			return nil, fmt.Errorf("want comment: bad string %s: %v", lit, err)
+			return nil, fmt.Errorf("want comment: bad string %s: %w", lit, err)
 		}
 		re, err := regexp.Compile(s)
 		if err != nil {
-			return nil, fmt.Errorf("want comment: bad regexp %q: %v", s, err)
+			return nil, fmt.Errorf("want comment: bad regexp %q: %w", s, err)
 		}
 		out = append(out, re)
 	}

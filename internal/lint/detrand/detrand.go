@@ -17,7 +17,10 @@
 //
 // A range statement may be suppressed with an "anonylint:map-ordered"
 // comment on its line when order-independence holds for a reason the
-// analyzer cannot see; the comment is the reviewable claim.
+// analyzer cannot see; the comment is the reviewable claim. Likewise a
+// wall-clock read may carry "anonylint:wall-clock" when the time
+// feeds measurement only (latency histograms, progress logs) and never
+// an output the determinism contract covers.
 package detrand
 
 import (
@@ -71,15 +74,22 @@ var Analyzer = &analysis.Analyzer{
 // clockFuncs are the "time" package functions that read the wall clock.
 var clockFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
 
+// WallClockOK marks a line whose wall-clock read feeds measurement
+// only — latency recording, progress reporting — and never a value
+// under the byte-equality contract. The justification after the
+// marker is the reviewable claim.
+const WallClockOK = "anonylint:wall-clock"
+
 func run(pass *analysis.Pass) error {
 	suppressed := pass.CommentLines("anonylint:map-ordered")
+	clockOK := pass.CommentLines(WallClockOK)
 	for _, f := range pass.Files {
 		for _, d := range f.Decls {
 			fd, ok := d.(*ast.FuncDecl)
 			if !ok || fd.Body == nil {
 				continue
 			}
-			checkCalls(pass, fd.Body)
+			checkCalls(pass, fd.Body, clockOK[f])
 			checkMapRanges(pass, fd, suppressed[f])
 		}
 	}
@@ -87,7 +97,7 @@ func run(pass *analysis.Pass) error {
 }
 
 // checkCalls flags wall-clock and global-rand calls.
-func checkCalls(pass *analysis.Pass, body *ast.BlockStmt) {
+func checkCalls(pass *analysis.Pass, body *ast.BlockStmt, clockOK map[int]bool) {
 	ast.Inspect(body, func(n ast.Node) bool {
 		call, ok := n.(*ast.CallExpr)
 		if !ok {
@@ -100,6 +110,9 @@ func checkCalls(pass *analysis.Pass, body *ast.BlockStmt) {
 		name := sel.Sel.Name
 		switch {
 		case clockFuncs[name] && pass.IsPkgName(sel.X, "time"):
+			if clockOK[pass.Fset.Position(call.Pos()).Line] {
+				break
+			}
 			pass.Reportf(call.Pos(),
 				"detrand: time.%s reads the wall clock in a deterministic package; thread timings through the caller", name)
 		case (pass.IsPkgName(sel.X, "math/rand") || pass.IsPkgName(sel.X, "math/rand/v2")) &&

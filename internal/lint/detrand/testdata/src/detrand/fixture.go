@@ -18,6 +18,11 @@ func elapsed(start time.Time) time.Duration {
 	return time.Since(start) // want `detrand: time\.Since reads the wall clock`
 }
 
+func measured() time.Duration {
+	start := time.Now() // anonylint:wall-clock — latency measurement only; never reaches a contract output
+	return time.Since(start) // anonylint:wall-clock — ditto
+}
+
 func globalRand() int {
 	return rand.Intn(10) // want `detrand: global math/rand function rand\.Intn`
 }

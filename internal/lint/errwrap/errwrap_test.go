@@ -1,0 +1,12 @@
+package errwrap_test
+
+import (
+	"testing"
+
+	"spatialanon/internal/lint/analysistest"
+	"spatialanon/internal/lint/errwrap"
+)
+
+func TestErrwrap(t *testing.T) {
+	analysistest.Run(t, errwrap.Analyzer, "errwrap")
+}

@@ -1,0 +1,70 @@
+// Package fixture exercises the errwrap analyzer: identity
+// comparisons against Err* sentinels, chain-flattening fmt.Errorf
+// verbs and bare cross-package sentinel returns are flagged, while
+// errors.Is, %w wrapping, own-package sentinels, io.EOF and
+// err-exempt lines all pass.
+package fixture
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+)
+
+// ErrLocal is this package's own taxonomy sentinel.
+var ErrLocal = errors.New("fixture: local sentinel")
+
+func compare(err error) bool {
+	if err == os.ErrNotExist { // want `errwrap: ErrNotExist compared with ==`
+		return true
+	}
+	if err != ErrLocal { // want `errwrap: ErrLocal compared with !=`
+		return false
+	}
+	return errors.Is(err, os.ErrNotExist)
+}
+
+func compareEOF(err error) bool {
+	return err == io.EOF // EOF is outside the Err* convention (io.Reader contract)
+}
+
+func compareExempt(err error) bool {
+	return err == ErrLocal // anonylint:err-exempt — ErrLocal is handed out by this package unwrapped, identity is exact
+}
+
+func wrapV(err error, n int) error {
+	return fmt.Errorf("fixture: %d bytes: %v", n, err) // want `errwrap: %v flattens this error`
+}
+
+func wrapS(err error) error {
+	return fmt.Errorf("fixture: %s", err) // want `errwrap: %s flattens this error`
+}
+
+func wrapStar(err error, w, n int) error {
+	return fmt.Errorf("fixture: %*d: %q", w, n, err) // want `errwrap: %q flattens this error`
+}
+
+func wrapGood(err error) error {
+	return fmt.Errorf("fixture: %w", err)
+}
+
+func wrapNonError(name string) error {
+	return fmt.Errorf("fixture: %v missing", name) // %v on a non-error is ordinary formatting
+}
+
+func passThrough() error {
+	return os.ErrNotExist // want `errwrap: os\.ErrNotExist returned bare`
+}
+
+func passLocal() error {
+	return ErrLocal // own sentinel: the bare return IS the taxonomy
+}
+
+func passEOF() (int, error) {
+	return 0, io.EOF // io.Reader contract: EOF travels unwrapped
+}
+
+func passWrapped() error {
+	return fmt.Errorf("fixture: open: %w", os.ErrNotExist)
+}

@@ -1,4 +1,4 @@
-// Package lint assembles the anonylint suite: the project's four
+// Package lint assembles the anonylint suite: the project's seven
 // static analyzers plus the package-scoping rules that decide where
 // each one applies. cmd/anonylint and the lint tests both consume this
 // registry, so the CLI and the test suite can never disagree about
@@ -10,9 +10,12 @@ import (
 
 	"spatialanon/internal/lint/analysis"
 	"spatialanon/internal/lint/detrand"
+	"spatialanon/internal/lint/errwrap"
 	"spatialanon/internal/lint/kparam"
+	"spatialanon/internal/lint/noalloc"
 	"spatialanon/internal/lint/pagerconfine"
 	"spatialanon/internal/lint/panicpolicy"
+	"spatialanon/internal/lint/pubfreeze"
 )
 
 // ScopedAnalyzer pairs an analyzer with the predicate selecting the
@@ -26,21 +29,37 @@ type ScopedAnalyzer struct {
 
 // Suite returns the anonylint analyzers with their package scopes:
 //
-//   - pagerconfine and kparam run everywhere: worker confinement and
-//     k validation are whole-repository invariants.
-//   - detrand runs on the deterministic packages only — commands and
-//     the experiment harness are allowed to read clocks.
-//   - panicpolicy runs on internal/ library packages, excluding the
-//     lint tooling itself (an analyzer crashing on a malformed AST is
-//     a programmer error by construction); commands may log.Fatal.
+//   - pagerconfine, kparam, pubfreeze, noalloc and errwrap run
+//     everywhere: worker confinement, k validation, post-publish
+//     immutability, the zero-alloc contract and the error taxonomy
+//     are whole-repository invariants (the latter three only bite
+//     where their directives or seed types appear);
+//   - detrand runs on the deterministic packages plus the commands —
+//     commands drive the deterministic harnesses, so their
+//     randomness must be seeded too; their latency measurements
+//     carry anonylint:wall-clock justifications;
+//   - panicpolicy runs on internal/ library packages and the
+//     commands, excluding the lint tooling itself (an analyzer
+//     crashing on a malformed AST is a programmer error by
+//     construction). Commands exit through run() + os.Exit, which
+//     panicpolicy permits — log.Fatal and bare panics are banned
+//     there like everywhere else.
 func Suite() []ScopedAnalyzer {
+	everywhere := func(string) bool { return true }
+	isCmd := func(path string) bool { return strings.HasPrefix(path, "spatialanon/cmd/") }
 	return []ScopedAnalyzer{
-		{pagerconfine.Analyzer, func(string) bool { return true }},
-		{kparam.Analyzer, func(string) bool { return true }},
-		{detrand.Analyzer, func(path string) bool { return detrand.Deterministic[path] }},
+		{pagerconfine.Analyzer, everywhere},
+		{kparam.Analyzer, everywhere},
+		{pubfreeze.Analyzer, everywhere},
+		{noalloc.Analyzer, everywhere},
+		{errwrap.Analyzer, everywhere},
+		{detrand.Analyzer, func(path string) bool {
+			return detrand.Deterministic[path] || isCmd(path)
+		}},
 		{panicpolicy.Analyzer, func(path string) bool {
-			return strings.Contains(path, "/internal/") &&
-				!strings.Contains(path, "/internal/lint")
+			return isCmd(path) ||
+				(strings.Contains(path, "/internal/") &&
+					!strings.Contains(path, "/internal/lint"))
 		}},
 	}
 }

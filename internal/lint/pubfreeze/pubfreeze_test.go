@@ -1,0 +1,12 @@
+package pubfreeze_test
+
+import (
+	"testing"
+
+	"spatialanon/internal/lint/analysistest"
+	"spatialanon/internal/lint/pubfreeze"
+)
+
+func TestPubfreeze(t *testing.T) {
+	analysistest.Run(t, pubfreeze.Analyzer, "pubfreeze")
+}

@@ -1,0 +1,119 @@
+// Package fixture exercises the pubfreeze analyzer: writes through a
+// published type after construction are flagged — field stores,
+// element and map writes, deletes, copies and increments — while the
+// three sound shapes pass: fresh locals on the constructor path,
+// once-guarded memoization, and anonylint:pre-publish annotations.
+// The transitive pass catches post-publish methods that reach
+// constructor-phase code through helper calls.
+package fixture
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Box is one published epoch of this fixture's tiny store: readers
+// load it from the epoch pointer with no synchronization, so after
+// cur.Store it must never be written again.
+//
+//anonylint:published
+type Box struct {
+	n     int
+	items []int
+	tags  map[string]int
+
+	once sync.Once
+	memo []int
+}
+
+// plain is an unmarked type: writes to it are ordinary Go.
+type plain struct {
+	n int
+}
+
+var cur atomic.Pointer[Box]
+
+// Publish constructs and publishes a fresh Box. Writes to the fresh
+// local are construction, not mutation — the value has no readers
+// until Store.
+func Publish(items []int) {
+	b := &Box{tags: make(map[string]int)}
+	b.items = items
+	b.n = len(items)
+	fill(b)
+	cur.Store(b)
+}
+
+// fill is constructor-phase code: it writes to a Box that Publish has
+// not stored yet.
+//
+//anonylint:pre-publish — called from Publish only, before cur.Store
+func fill(b *Box) {
+	b.tags["fresh"] = 1
+}
+
+// Reset mutates the published Box through every write shape the
+// analyzer recognizes.
+func Reset() {
+	b := cur.Load()
+	b.n = 0                // want `pubfreeze: write to field n of published Box`
+	b.items[0] = 0         // want `pubfreeze: write to field items of published Box`
+	b.tags["x"] = 1        // want `pubfreeze: write to field tags of published Box`
+	delete(b.tags, "x")    // want `pubfreeze: delete from field tags of published Box`
+	copy(b.items, b.memo)  // want `pubfreeze: copy into field items of published Box`
+	*b = Box{}             // want `pubfreeze: write to pointee of published Box`
+	touch(b)
+}
+
+// touch writes through a parameter: the caller may hand it a
+// published value, so the write is flagged at its site.
+func touch(b *Box) {
+	b.n++ // want `pubfreeze: write to field n of published Box`
+}
+
+// Memo is the sanctioned lazy path: the once provides the
+// happens-before edge, so the write inside its closure is the
+// memoization pattern the serving layer is built on.
+func (b *Box) Memo() []int {
+	b.once.Do(func() {
+		b.memo = make([]int, b.n)
+	})
+	return b.memo
+}
+
+// Install is the lock-guarded fresh-entry install pattern: the claim
+// that no reader can observe the map mid-write is carried by the
+// annotated line, not by the analyzer.
+func (b *Box) Install(k string) {
+	b.tags[k] = 1 // anonylint:pre-publish — guarded install of a fresh entry, mirror of the serve release cache
+}
+
+// Refill runs after publication but reaches constructor-phase code
+// two calls down: the pre-publish claim on fill is void here.
+func (b *Box) Refill() {
+	rebuild(b) // want `pubfreeze: rebuild → pre-publish fill reachable from \(Box\)\.Refill`
+}
+
+// rebuild only forwards — the chase must look through it.
+func rebuild(b *Box) {
+	fill(b)
+}
+
+// Grow rebinds a local pointer: assigning the variable itself is not
+// a write through the published value.
+func Grow() *Box {
+	b := cur.Load()
+	if b == nil {
+		b = &Box{}
+		b.n = 1 // fresh local: constructor path
+	}
+	return b
+}
+
+// scratch mutates an unmarked type: no findings.
+func scratch(p *plain) {
+	p.n++
+	q := plain{}
+	q.n = 2
+	_ = q
+}

@@ -120,15 +120,38 @@ func CountAnonymized(ps []anonmodel.Partition, q attr.Box) int {
 // EstimateUniform evaluates a COUNT query under the Section 2.3
 // uniform-distribution assumption: each intersecting partition
 // contributes |P| x cells(P∩Q)/cells(P), computed on the integer cell
-// lattice (consistent with the KL-divergence metric).
+// lattice (consistent with the KL-divergence metric). The
+// intersection is folded per axis instead of materialized, so the
+// linear fallback allocates nothing — same float rounding sequence as
+// the boxed form (and as routing.Index.Estimate, which is pinned
+// bit-identical to this function).
 func EstimateUniform(ps []anonmodel.Partition, q attr.Box) float64 {
 	est := 0.0
 	for _, p := range ps {
-		inter := p.Box.Intersect(q)
-		if inter.IsEmpty() {
+		if len(p.Box) == 0 {
+			// A zero-dimensional box is empty (Box.IsEmpty), so its
+			// intersection contributes nothing.
 			continue
 		}
-		est += float64(p.Size()) * cells(inter) / cells(p.Box)
+		interCells := 1.0
+		empty := false
+		for a := range p.Box {
+			ilo := math.Max(p.Box[a].Lo, q[a].Lo)
+			ihi := math.Min(p.Box[a].Hi, q[a].Hi)
+			if ilo > ihi {
+				empty = true
+				break
+			}
+			w := math.Round(ihi - ilo)
+			if w < 0 {
+				w = 0
+			}
+			interCells *= w + 1
+		}
+		if empty {
+			continue
+		}
+		est += float64(p.Size()) * interCells / cells(p.Box)
 	}
 	return est
 }

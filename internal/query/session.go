@@ -48,6 +48,8 @@ func NewCounter(ps []anonmodel.Partition, idx *routing.Index) *Counter {
 }
 
 // Point counts the records whose partition box contains p.
+//
+//anonylint:zero-alloc
 func (c *Counter) Point(p []float64) int {
 	if c.idx != nil {
 		return c.idx.PointCount(p, &c.s)
@@ -57,6 +59,8 @@ func (c *Counter) Point(p []float64) int {
 
 // Range counts the records whose partition box intersects q —
 // CountAnonymized through the session's scratch.
+//
+//anonylint:zero-alloc
 func (c *Counter) Range(q attr.Box) int {
 	if c.idx != nil {
 		return c.idx.RangeCount(q, &c.s)
@@ -81,6 +85,8 @@ func NewEstimator(ps []anonmodel.Partition, idx *routing.Index) *Estimator {
 
 // Estimate returns the uniform-assumption estimate for q,
 // bit-identical to EstimateUniform on the same release.
+//
+//anonylint:zero-alloc
 func (e *Estimator) Estimate(q attr.Box) float64 {
 	if e.idx != nil {
 		return e.idx.Estimate(q, &e.s)

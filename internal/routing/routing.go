@@ -66,6 +66,8 @@ type Options struct {
 // shares the release's partition slice (read-only, like every release
 // product) and is safe for any number of concurrent readers, each
 // with its own Scratch.
+//
+//anonylint:published — handed to concurrent readers via the view's accel cache; immutable after Build returns
 type Index struct {
 	parts     []anonmodel.Partition
 	curve     sfc.Curve
@@ -268,6 +270,8 @@ func (ix *Index) blockLimit(hiCorner []float64, s *Scratch) int {
 // PointCount returns the number of records whose partition box
 // contains p — bit-identical to summing Partition.Size over the
 // linear Box.Contains scan. Zero allocations on a warm Scratch.
+//
+//anonylint:zero-alloc
 func (ix *Index) PointCount(p []float64, s *Scratch) int {
 	n := len(ix.keys)
 	if n == 0 || len(p) != ix.dims {
@@ -294,6 +298,8 @@ func (ix *Index) PointCount(p []float64, s *Scratch) int {
 // semantics — every record of every partition whose box intersects q
 // — bit-identical to query.CountAnonymized. Zero allocations on a
 // warm Scratch.
+//
+//anonylint:zero-alloc
 func (ix *Index) RangeCount(q attr.Box, s *Scratch) int {
 	n := len(ix.keys)
 	if n == 0 || len(q) != ix.dims || q.IsEmpty() {
@@ -321,6 +327,8 @@ func (ix *Index) RangeCount(q attr.Box, s *Scratch) int {
 // with the same per-axis arithmetic and summed in original partition
 // order, so the float rounding sequence matches the linear scan. Zero
 // allocations on a warm Scratch.
+//
+//anonylint:zero-alloc
 func (ix *Index) Estimate(q attr.Box, s *Scratch) float64 {
 	n := len(ix.keys)
 	if n == 0 || len(q) != ix.dims || q.IsEmpty() {
@@ -377,7 +385,7 @@ func (ix *Index) rangeLimit(q attr.Box, s *Scratch) int {
 		return len(ix.bKeyLo)
 	}
 	if cap(s.corner) < ix.dims {
-		s.corner = make([]float64, ix.dims)
+		s.corner = make([]float64, ix.dims) // anonylint:alloc-ok — one-time scratch warm-up; never reached on a warm Scratch
 	}
 	s.corner = s.corner[:ix.dims]
 	for a := 0; a < ix.dims; a++ {

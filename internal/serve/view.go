@@ -26,6 +26,8 @@ type Partition = anonmodel.Partition
 // number of readers may use it concurrently with ongoing mutation.
 // Returned partition slices are shared between callers and MUST be
 // treated as read-only (same contract as rplustree.LeafView).
+//
+//anonylint:published — stored to Server.cur (atomic.Pointer); immutable after Store
 type View struct {
 	epoch   uint64
 	seq     uint64
@@ -55,6 +57,8 @@ type View struct {
 }
 
 // recordsEntry memoizes the view's flattened record list.
+//
+//anonylint:published — reachable through a published View; writes only under once
 type recordsEntry struct {
 	once sync.Once
 	recs []attr.Record
@@ -64,6 +68,8 @@ type recordsEntry struct {
 // created under v.mu but computed under its own once, so two readers
 // asking for a cold k1 share one computation without serializing
 // against readers of other granularities.
+//
+//anonylint:published — reachable through a published View; writes only under once
 type releaseEntry struct {
 	once sync.Once
 	ps   []Partition
@@ -72,6 +78,8 @@ type releaseEntry struct {
 
 // accelEntry memoizes one granularity's routing accelerator, built
 // and audited once per (epoch, k1) alongside the release cache.
+//
+//anonylint:published — reachable through a published View; writes only under once
 type accelEntry struct {
 	once sync.Once
 	idx  *routing.Index
@@ -179,7 +187,7 @@ func (v *View) Release(k1 int) ([]Partition, error) {
 	e, ok := v.cache[k1]
 	if !ok {
 		e = &releaseEntry{}
-		v.cache[k1] = e
+		v.cache[k1] = e // anonylint:pre-publish — v.mu-guarded install of a fresh entry; readers only ever see it through the same lock
 	}
 	v.mu.Unlock()
 	e.once.Do(func() {
@@ -210,7 +218,7 @@ func (v *View) Accel(k1 int) (*routing.Index, error) {
 	e, ok := v.accel[k1]
 	if !ok {
 		e = &accelEntry{}
-		v.accel[k1] = e
+		v.accel[k1] = e // anonylint:pre-publish — v.mu-guarded install of a fresh entry; readers only ever see it through the same lock
 	}
 	v.mu.Unlock()
 	e.once.Do(func() {

@@ -85,6 +85,8 @@ func (q *Quantizer) Cell(p []float64) []uint32 {
 // and appends them to dst — the no-alloc variant of Cell for hot read
 // paths: with a reused dst of sufficient capacity it allocates
 // nothing.
+//
+//anonylint:zero-alloc
 func (q *Quantizer) AppendCell(dst []uint32, p []float64) []uint32 {
 	max := float64(uint64(1)<<q.bits) - 1
 	for i, iv := range q.domain {
@@ -106,6 +108,8 @@ func (q *Quantizer) AppendCell(dst []uint32, p []float64) []uint32 {
 }
 
 // Key returns the curve position of a point.
+//
+//anonylint:zero-alloc
 func (q *Quantizer) Key(c Curve, p []float64) uint64 {
 	// dims*bits <= 64 with bits >= 1 bounds dims at 64, so one stack
 	// cell buffer covers every legal quantizer and Key allocates
@@ -120,6 +124,8 @@ func (q *Quantizer) Key(c Curve, p []float64) uint64 {
 // position is returned along with the scratch for the next call. Once
 // buf has capacity for one cell per dimension, KeyInto allocates
 // nothing — the contract the per-query read path is pinned to.
+//
+//anonylint:zero-alloc
 func (q *Quantizer) KeyInto(c Curve, p []float64, buf []uint32) (uint64, []uint32) {
 	buf = q.AppendCell(buf[:0], p)
 	if c == Hilbert {
@@ -130,6 +136,8 @@ func (q *Quantizer) KeyInto(c Curve, p []float64, buf []uint32) (uint64, []uint3
 
 // ZOrderKey interleaves the low `bits` bits of each coordinate, highest
 // bit first, dimension 0 most significant within each round.
+//
+//anonylint:zero-alloc
 func ZOrderKey(cell []uint32, bits int) uint64 {
 	var key uint64
 	for b := bits - 1; b >= 0; b-- {

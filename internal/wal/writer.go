@@ -197,7 +197,7 @@ func (w *Writer) Append(payload []byte) error {
 // only a reopen — committed-prefix scan plus truncate — can repair it.
 func (w *Writer) fail(op string, err error) error {
 	if terr := w.f.Truncate(w.size); terr != nil {
-		w.dead = fmt.Errorf("wal: %s failed (%v) and the rollback truncate failed too: %w", op, err, terr)
+		w.dead = fmt.Errorf("wal: %s failed (%w) and the rollback truncate failed too: %w", op, err, terr)
 		return w.dead
 	}
 	return fmt.Errorf("wal: %s: %w", op, err)
