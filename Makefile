@@ -6,7 +6,7 @@ GO ?= go
 # writes a new baseline without editing the Makefile.
 BENCH ?= BENCH_PR7.json
 
-.PHONY: all build test vet lint lint-json race chaos chaos-serve crash throughput zeroalloc read-bench fuzz bench cover experiments examples clean
+.PHONY: all build test vet lint lint-json race chaos chaos-serve chaos-shard crash throughput zeroalloc read-bench fuzz bench cover experiments examples clean
 
 all: vet test
 
@@ -39,7 +39,7 @@ lint-json:
 # correctness bugs in the determinism guarantee, not perf noise.
 test: vet
 	$(GO) test ./...
-	$(GO) test -race ./internal/par ./internal/rplustree ./internal/mondrian ./internal/core ./internal/serve ./internal/wal ./internal/lint/...
+	$(GO) test -race ./internal/par ./internal/rplustree ./internal/mondrian ./internal/core ./internal/serve ./internal/shard ./internal/wal ./internal/lint/...
 
 # Full suite under the race detector.
 race:
@@ -57,6 +57,17 @@ chaos:
 # serving an unaudited view.
 chaos-serve:
 	$(GO) test ./internal/serve/ -run 'TestChaosServeMatrix' -v
+
+# The shard-level chaos matrix (internal/shard): fault injection
+# confined to one victim shard per seed — flaky fsyncs, torn WAL
+# writes, checkpoint bit rot, plus a crash at every durable operation —
+# asserting sibling shards keep serving, cross-shard reads name the
+# degraded range in a typed partial error, joint releases are withheld
+# rather than served stale or under-k, and recovery restores exactly
+# each shard's acknowledged prefix, deterministically. Runs under the
+# race detector: shard routing is the concurrency seam of the fleet.
+chaos-shard:
+	$(GO) test -race ./internal/shard/ -run 'TestChaosShard' -v
 
 # The WAL crash matrix: a churn workload crashed at every durable
 # operation (each log append and checkpoint page write, with torn
@@ -93,6 +104,7 @@ fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzReadBinary -fuzztime=30s ./internal/dataset/
 	$(GO) test -run=NONE -fuzz=FuzzDecode -fuzztime=30s ./internal/wal/
 	$(GO) test -run=NONE -fuzz=FuzzLookupVsLinear -fuzztime=30s ./internal/routing/
+	$(GO) test -run=NONE -fuzz=FuzzShardRouting -fuzztime=30s ./internal/shard/
 
 # Full figure + ablation benchmark sweep, 3 runs per benchmark for
 # variance. The raw log lands in bench_output.txt; the parsed baseline

@@ -15,6 +15,7 @@
 //	loadgen -dir ./store -nosync=false -writers 16 -batch 64
 //	loadgen -dataset patients -readers 8 -k1 25
 //	loadgen -overload -writers 32 -queue 4 -batch 4 -deadline 2
+//	loadgen -shards 4 -writers 8 -readers 2
 //
 // The store is created in -dir (a temporary directory by default),
 // preloaded with -n records in one bulk batch, then churned: writers
@@ -30,6 +31,12 @@
 // below the writer count (-queue < -writers) to actually provoke
 // shedding. In every mode SIGINT drains gracefully: in-flight
 // operations finish, counters are reported for the partial run.
+//
+// With -shards N the store is split into N contiguous SFC key ranges,
+// each with its own serving stack (internal/shard); mutations route by
+// curve key, readers issue cross-shard counts and audited joint
+// releases, and the report breaks throughput, latency quantiles,
+// error-class counts and shed rate down per shard.
 package main
 
 import (
@@ -74,6 +81,7 @@ type config struct {
 	overload bool
 	queue    int
 	deadline int
+	shards   int
 }
 
 func parseFlags(args []string) (config, error) {
@@ -94,8 +102,15 @@ func parseFlags(args []string) (config, error) {
 	fs.BoolVar(&c.overload, "overload", false, "keep driving through typed rejections; report shed rate and per-error-class counts")
 	fs.IntVar(&c.queue, "queue", 0, "submission queue depth (serve.Options.QueueDepth; 0 = 4×batch)")
 	fs.IntVar(&c.deadline, "deadline", 0, "queue deadline in group-commit ticks (serve.Options.DeadlineTicks; 0 = none)")
+	fs.IntVar(&c.shards, "shards", 1, "shard the store into N SFC key ranges, one serving stack each; report is per shard")
 	if err := fs.Parse(args); err != nil {
 		return c, err
+	}
+	if c.shards < 1 {
+		return c, fmt.Errorf("need at least one shard")
+	}
+	if c.shards > 1 && c.profile != "churn" {
+		return c, fmt.Errorf("-shards applies to the churn profile only")
 	}
 	if c.profile != "churn" && c.profile != "read" {
 		return c, fmt.Errorf("unknown profile %q (want churn or read)", c.profile)
@@ -222,6 +237,9 @@ func run(args []string, out io.Writer) error {
 		}
 		defer os.RemoveAll(tmp)
 		dir = tmp
+	}
+	if c.shards > 1 {
+		return shardedRun(c, dir, schema, generate, out)
 	}
 
 	st, err := wal.Create(wal.Options{

@@ -1,0 +1,273 @@
+package main
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"sync"
+	"time"
+
+	"spatialanon/internal/attr"
+	"spatialanon/internal/rplustree"
+	"spatialanon/internal/serve"
+	"spatialanon/internal/shard"
+)
+
+// boundingDomain computes the fixed routing domain for a sharded run:
+// the bounding box of every record the run will ever submit, padded by
+// one unit per dimension so the churn profile's relocations (QI[0]+1)
+// stay inside. The domain is a pure function of the generator
+// parameters, so routing is identical across runs and shard counts.
+func boundingDomain(batches ...[]attr.Record) attr.Box {
+	var box attr.Box
+	for _, recs := range batches {
+		for _, r := range recs {
+			if box == nil {
+				box = attr.NewBox(len(r.QI))
+				for d := range box {
+					box[d] = attr.Interval{Lo: r.QI[d], Hi: r.QI[d]}
+				}
+				continue
+			}
+			box.Include(r.QI)
+		}
+	}
+	for d := range box {
+		box[d].Lo--
+		box[d].Hi++
+	}
+	return box
+}
+
+// shardBucket accumulates one writer's samples for one shard.
+type shardBucket struct {
+	lats []time.Duration
+	ec   errCounts
+}
+
+// shardedRun drives the churn workload through a shard.Coordinator:
+// one serving stack per SFC key range, mutations routed by curve key.
+// Reporting is per shard — ops/sec, latency quantiles, error-class
+// counts and shed rate for each key range — because the whole point of
+// sharding is that load and failure stay rangewise.
+func shardedRun(c config, dir string, schema *attr.Schema, generate func(n int, seed int64) []attr.Record, out io.Writer) error {
+	recs := generate(c.n, c.seed)
+	churn := generate(c.ops+c.writers, c.seed+1)
+	for i := range churn {
+		churn[i].ID = int64(c.n + i + 1)
+	}
+
+	co, err := shard.New(shard.Options{
+		Dir:     dir,
+		Shards:  c.shards,
+		Domain:  boundingDomain(recs, churn),
+		Tree:    rplustree.Config{Schema: schema, BaseK: c.k},
+		Serve:   serve.Options{MaxBatch: c.batch, QueueDepth: c.queue, DeadlineTicks: c.deadline},
+		NoSync:  c.nosync,
+		Preload: recs,
+	})
+	if err != nil {
+		return err
+	}
+	defer co.Close()
+
+	// Route classifier for the report: which shard owns a QI point.
+	table := co.Table()
+	quant := co.Quantizer()
+	curve := co.Curve()
+	routeOf := func(qi []float64) int {
+		key := quant.Key(curve, qi)
+		for i, r := range table {
+			if r.Contains(key) {
+				return i
+			}
+		}
+		return len(table) - 1 // unreachable: the table tiles the domain
+	}
+
+	// Graceful SIGINT drain, as in the single-store profiles.
+	stop := make(chan struct{})
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt)
+	defer signal.Stop(sigCh)
+	runDone := make(chan struct{})
+	defer close(runDone)
+	go func() {
+		select {
+		case <-sigCh:
+			fmt.Fprintf(out, "loadgen: interrupt — draining in-flight operations\n")
+			close(stop)
+		case <-runDone:
+		}
+	}()
+
+	fmt.Fprintf(out, "loadgen: %s sharded n=%d k=%d shards=%d writers=%d readers=%d batch=%d ops=%d fsync=%v\n",
+		c.dataset, c.n, c.k, c.shards, c.writers, c.readers, c.batch, c.ops, !c.nosync)
+
+	var (
+		wg         sync.WaitGroup
+		writersWG  sync.WaitGroup
+		buckets    = make([][]shardBucket, c.writers) // [writer][shard]
+		readerLats = make([][]time.Duration, c.readers)
+		partials   int64
+		partialsMu sync.Mutex
+		errMu      sync.Mutex
+		firstErr   error
+	)
+	fail := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+	}
+	stopReaders := make(chan struct{})
+	start := time.Now() // anonylint:wall-clock — throughput measurement only
+
+	for w := 0; w < c.writers; w++ {
+		w := w
+		buckets[w] = make([]shardBucket, c.shards)
+		wg.Add(1)
+		writersWG.Add(1)
+		go func() {
+			defer wg.Done()
+			defer writersWG.Done()
+			// Same striped churn cycle as the single-store profile:
+			// insert → relocate → delete over the writer's own keys. The
+			// relocation may cross a shard seam — that path is part of
+			// what a sharded run measures.
+			var cur attr.Record
+			j := 0
+			for i := w; i < c.ops; i += c.writers {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				var err error
+				var si int
+				t0 := time.Now() // anonylint:wall-clock — latency sample
+				switch j % 3 {
+				case 0:
+					cur = churn[i]
+					si = routeOf(cur.QI)
+					err = co.Insert(cur)
+				case 1:
+					moved := attr.Record{ID: cur.ID, QI: append([]float64(nil), cur.QI...), Sensitive: cur.Sensitive}
+					moved.QI[0]++
+					si = routeOf(moved.QI)
+					_, err = co.Update(cur.ID, cur.QI, moved)
+					cur = moved
+				case 2:
+					si = routeOf(cur.QI)
+					_, err = co.Delete(cur.ID, cur.QI)
+				}
+				b := &buckets[w][si]
+				b.lats = append(b.lats, time.Since(t0)) // anonylint:wall-clock — latency sample
+				if c.overload {
+					b.ec.classify(err)
+				} else if err != nil {
+					fail(fmt.Errorf("writer %d: %w", w, err))
+					return
+				}
+				j++
+			}
+		}()
+	}
+
+	// Readers run cross-shard products: a whole-domain count and the
+	// audited joint release. A partial result (only possible when a
+	// shard degrades) is counted, not fatal — that is the coordinator
+	// doing its job.
+	domain := boundingDomain(recs, churn)
+	for r := 0; r < c.readers; r++ {
+		r := r
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var lats []time.Duration
+			for {
+				select {
+				case <-stopReaders:
+					readerLats[r] = lats
+					return
+				default:
+				}
+				t0 := time.Now() // anonylint:wall-clock — latency sample
+				_, cerr := co.Count(domain)
+				_, rerr := co.Release(c.k1)
+				for _, err := range []error{cerr, rerr} {
+					if err == nil {
+						continue
+					}
+					if errors.Is(err, shard.ErrPartial) {
+						partialsMu.Lock()
+						partials++
+						partialsMu.Unlock()
+						continue
+					}
+					fail(fmt.Errorf("reader %d: %w", r, err))
+					return
+				}
+				lats = append(lats, time.Since(t0)) // anonylint:wall-clock — latency sample
+			}
+		}()
+	}
+
+	if c.writers > 0 {
+		writersWG.Wait()
+	} else {
+		select {
+		case <-time.After(2 * time.Second):
+		case <-stop:
+		}
+	}
+	writeElapsed := time.Since(start) // anonylint:wall-clock — throughput measurement only
+	close(stopReaders)
+	wg.Wait()
+	elapsed := time.Since(start) // anonylint:wall-clock — throughput measurement only
+
+	perShard, coPartials, coRetries := co.Stats()
+	if err := co.Close(); err != nil {
+		return err
+	}
+	if firstErr != nil {
+		return firstErr
+	}
+
+	if c.writers > 0 {
+		for si := 0; si < c.shards; si++ {
+			lats := make([][]time.Duration, 0, c.writers)
+			var total errCounts
+			for w := 0; w < c.writers; w++ {
+				lats = append(lats, buckets[w][si].lats)
+				total.add(buckets[w][si].ec)
+			}
+			ws := summarize(lats, writeElapsed)
+			fmt.Fprintf(out, "shard %d %v: writes: %s\n", si, perShard[si].Range, ws)
+			if c.overload {
+				issued := total.issued()
+				shedPct := 0.0
+				if issued > 0 {
+					shedPct = 100 * float64(total.shed) / float64(issued)
+				}
+				fmt.Fprintf(out, "shard %d errors: issued=%d acked=%d shed=%d (%.1f%% shed) expired=%d degraded=%d recovering=%d transient=%d other=%d\n",
+					si, issued, total.acked, total.shed, shedPct, total.expired, total.degraded, total.recovering, total.transient, total.other)
+			}
+			st := perShard[si].Serve
+			if st.Batches > 0 {
+				fmt.Fprintf(out, "shard %d commits: %d batches, %.1f ops/fsync, state=%v server shed=%d\n",
+					si, st.Batches, float64(st.Ops)/float64(st.Batches), st.State, st.Shed)
+			}
+		}
+		fmt.Fprintf(out, "coordinator: partial reads=%d (%d server-side) resubmitted transients=%d\n",
+			partials, coPartials, coRetries)
+	}
+	if c.readers > 0 {
+		rs := summarize(readerLats, elapsed)
+		fmt.Fprintf(out, "reads:  %s\n", rs)
+	}
+	return nil
+}

@@ -71,6 +71,16 @@ func NewFlaky(seed int64, cfg FlakyConfig) *Flaky {
 // Seed returns the seed the injector was created with.
 func (f *Flaky) Seed() int64 { return f.seed }
 
+// Derive returns a fresh Flaky with the same config whose seed is a
+// deterministic function of this injector's seed and the shard index —
+// the append-path analogue of Injector.Derive. Sharded serving runs
+// one WAL writer per shard on its own goroutine, and injectors are not
+// safe for concurrent use, so each shard must own a derived injector;
+// any shard's schedule replays in isolation from (parent seed, shard).
+func (f *Flaky) Derive(shard int) *Flaky {
+	return NewFlaky(DeriveSeed(f.seed, shard), f.cfg)
+}
+
 // WriteAttempt is consulted before one physical frame write of
 // frameLen bytes. On a fault it reports how many bytes of the frame
 // land anyway (a torn prefix; zero means nothing reached the log) and

@@ -53,6 +53,7 @@ var Deterministic = map[string]bool{
 	"spatialanon/internal/retry":     true,
 	"spatialanon/internal/wal":       true,
 	"spatialanon/internal/serve":     true,
+	"spatialanon/internal/shard":     true,
 	"spatialanon/internal/fault":     true,
 	"spatialanon/internal/pager":     true,
 }

@@ -90,6 +90,22 @@ func (p Policy) delay(attempt int, rng *interface{ Float64() float64 }) time.Dur
 	return time.Duration((0.5 + 0.5*(*rng).Float64()) * float64(d))
 }
 
+// Derive returns a copy of the policy whose jitter stream is a
+// deterministic function of (p.Seed, shard) — the retry-side analogue
+// of fault.DeriveSeed. When one policy fans out across shards, every
+// shard must draw from its own stream: sharing one would make shard
+// i's delays depend on how often shard j retried, and the whole point
+// of jitter is that synchronized retriers decorrelate. The mix is
+// splitmix64, duplicated structurally from internal/fault so this
+// package stays dependency-free.
+func (p Policy) Derive(shard int) Policy {
+	z := uint64(p.Seed) + uint64(shard+1)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	p.Seed = int64(z ^ (z >> 31))
+	return p
+}
+
 // IsTransient reports whether err identifies itself as retryable: any
 // error in the chain exposing `Transient() bool` returning true. This
 // mirrors fault.IsTransient without importing the injector package.

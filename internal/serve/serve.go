@@ -139,6 +139,11 @@ type Stats struct {
 	Retries int64
 	// Recoveries counts successful Server.Recover resurrections.
 	Recoveries int64
+	// RecoverAttempts counts store recovery attempts, successful or
+	// not. Concurrent Recover callers coalesce into one attempt
+	// (single-flight), so this stays well below the caller count under
+	// a recovery storm.
+	RecoverAttempts int64
 	// ScrubScans, ScrubCorrupt and ScrubRepaired count background scrub
 	// passes, corrupt pages detected, and pages repaired (quarantined or
 	// rewritten from the live tree).
@@ -207,16 +212,20 @@ type Server struct {
 	// against.
 	prevSnap []rplustree.LeafView
 
-	ops           atomic.Int64
-	batches       atomic.Int64
-	maxBatch      atomic.Int64
-	shed          atomic.Int64
-	expired       atomic.Int64
-	retries       atomic.Int64
-	recoveries    atomic.Int64
-	scrubScans    atomic.Int64
-	scrubCorrupt  atomic.Int64
-	scrubRepaired atomic.Int64
+	ops        atomic.Int64
+	batches    atomic.Int64
+	maxBatch   atomic.Int64
+	shed       atomic.Int64
+	expired    atomic.Int64
+	retries    atomic.Int64
+	recoveries atomic.Int64
+	// recoverAttempts counts st.Recover invocations — the single-flight
+	// regression signal: N concurrent Recover callers must cost one
+	// attempt, not N.
+	recoverAttempts atomic.Int64
+	scrubScans      atomic.Int64
+	scrubCorrupt    atomic.Int64
+	scrubRepaired   atomic.Int64
 }
 
 // poison boxes the error that stopped the serving layer (an epoch
@@ -506,19 +515,38 @@ func (s *Server) maybeScrub() {
 // before the breaker tripped and must not wait on an uncertain
 // outcome — then the store is rebuilt and, on success, a fresh epoch
 // is published before writes reopen.
+//
+// Recovery is single-flight: every Recover caller blocked on
+// recoverCh — now, or while the store is rebuilding — joins the
+// attempt in flight and shares its outcome. Without coalescing, N
+// callers racing into a still-failing store would each re-run
+// st.Recover and re-drain the queue, turning one failure into N
+// sequential recovery storms.
 func (s *Server) doRecover(rr *recoverReq) {
+	waiters := s.gatherRecoverWaiters([]*recoverReq{rr})
 	if s.failed.Load() == nil {
-		rr.done <- nil // healthy; nothing to recover
+		// Healthy; nothing to recover. Callers queued behind a
+		// successful attempt land here and learn it already won.
+		for _, w := range waiters {
+			w.done <- nil
+		}
 		return
 	}
+	s.recoverAttempts.Add(1)
 	s.state.Store(int32(StateRecovering))
 	s.drainQueued(ErrRecovering)
 	err := s.st.Recover()
+	// Callers that arrived while the store was rebuilding were blocked
+	// on the unbuffered recoverCh; rendezvous with them now so they
+	// share this attempt's verdict instead of starting their own.
+	waiters = s.gatherRecoverWaiters(waiters)
 	if err != nil {
 		// Still down: back to degraded-readonly on the last audited
 		// epoch. The original poison stays as the cause.
 		s.state.Store(int32(StateDegraded))
-		rr.done <- err
+		for _, w := range waiters {
+			w.done <- err
+		}
 		return
 	}
 	// The store recovered through the full audited reopen path. The
@@ -530,7 +558,24 @@ func (s *Server) doRecover(rr *recoverReq) {
 	s.failed.Store(nil)
 	s.recoveries.Add(1)
 	s.state.Store(int32(StateHealthy))
-	rr.done <- nil
+	for _, w := range waiters {
+		w.done <- nil
+	}
+}
+
+// gatherRecoverWaiters collects every Recover caller currently parked
+// on the unbuffered recoverCh. Each receive unblocks one sender, so
+// the loop drains exactly the callers that were already committed to
+// this attempt; it never waits for new ones.
+func (s *Server) gatherRecoverWaiters(ws []*recoverReq) []*recoverReq {
+	for {
+		select {
+		case w := <-s.recoverCh:
+			ws = append(ws, w)
+		default:
+			return ws
+		}
+	}
 }
 
 // drainQueued empties the submission queue, failing every queued
@@ -598,18 +643,19 @@ func (s *Server) Release(k1 int) ([]Partition, error) {
 // Stats reports serving counters; safe from any goroutine.
 func (s *Server) Stats() Stats {
 	return Stats{
-		Ops:           s.ops.Load(),
-		Batches:       s.batches.Load(),
-		MaxBatch:      s.maxBatch.Load(),
-		Epoch:         s.cur.Load().Epoch(),
-		State:         State(s.state.Load()),
-		Shed:          s.shed.Load(),
-		Expired:       s.expired.Load(),
-		Retries:       s.retries.Load(),
-		Recoveries:    s.recoveries.Load(),
-		ScrubScans:    s.scrubScans.Load(),
-		ScrubCorrupt:  s.scrubCorrupt.Load(),
-		ScrubRepaired: s.scrubRepaired.Load(),
+		Ops:             s.ops.Load(),
+		Batches:         s.batches.Load(),
+		MaxBatch:        s.maxBatch.Load(),
+		Epoch:           s.cur.Load().Epoch(),
+		State:           State(s.state.Load()),
+		Shed:            s.shed.Load(),
+		Expired:         s.expired.Load(),
+		Retries:         s.retries.Load(),
+		Recoveries:      s.recoveries.Load(),
+		RecoverAttempts: s.recoverAttempts.Load(),
+		ScrubScans:      s.scrubScans.Load(),
+		ScrubCorrupt:    s.scrubCorrupt.Load(),
+		ScrubRepaired:   s.scrubRepaired.Load(),
 	}
 }
 

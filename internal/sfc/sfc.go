@@ -76,6 +76,24 @@ func NewQuantizer(domain attr.Box, bits int) (*Quantizer, error) {
 // Bits returns the per-dimension grid resolution.
 func (q *Quantizer) Bits() int { return q.bits }
 
+// Dims returns the dimensionality of the quantizer's domain.
+func (q *Quantizer) Dims() int { return len(q.domain) }
+
+// KeyBits returns the total key width in bits (dims × bits), at most
+// 64 by construction.
+func (q *Quantizer) KeyBits() int { return q.bits * len(q.domain) }
+
+// MaxKey returns the largest curve key this quantizer can produce:
+// every key lies in [0, MaxKey]. Shard range tables tile exactly this
+// interval.
+func (q *Quantizer) MaxKey() uint64 {
+	kb := q.KeyBits()
+	if kb >= 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << kb) - 1
+}
+
 // Cell maps a point to grid coordinates, clamping to the domain.
 func (q *Quantizer) Cell(p []float64) []uint32 {
 	return q.AppendCell(make([]uint32, 0, len(q.domain)), p)

@@ -1,0 +1,52 @@
+package shard
+
+import (
+	"fmt"
+	"sort"
+
+	"spatialanon/internal/verify"
+)
+
+// NewTable partitions the inclusive key interval [0, maxKey] into n
+// contiguous ranges of near-equal size (sizes differ by at most one
+// key, larger ranges first), exactly tiling the domain: no gaps, no
+// overlaps, first Lo zero, last Hi maxKey. The full SFC key domain
+// tops out at ^uint64(0), so the arithmetic works on maxKey directly
+// — the key COUNT maxKey+1 can overflow uint64 and never appears.
+func NewTable(maxKey uint64, n int) ([]verify.KeyRange, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("shard: %d shards; need at least 1", n)
+	}
+	un := uint64(n)
+	// maxKey = q*n + rem0, so the domain holds q*n + (rem0+1) keys:
+	// the first rem0+1 ranges span q+1 keys, the rest q. Everything is
+	// computed on maxKey itself — neither the key count maxKey+1 nor a
+	// range size ever materializes, because both overflow uint64 on
+	// the full 64-bit domain (n=1 must yield the single range
+	// [0, ^uint64(0)], whose size is 2^64).
+	q := maxKey / un
+	rem := maxKey%un + 1
+	if q == 0 && rem < un {
+		return nil, fmt.Errorf("shard: %d shards over %d keys leaves empty ranges", n, rem)
+	}
+	table := make([]verify.KeyRange, n)
+	lo := uint64(0)
+	for i := range table {
+		hi := lo + q - 1 // q keys
+		if uint64(i) < rem {
+			hi = lo + q // q+1 keys
+		}
+		table[i] = verify.KeyRange{Lo: lo, Hi: hi}
+		lo = hi + 1 // wraps to 0 after the final range; never read again
+	}
+	return table, nil
+}
+
+// lookup returns the index of the table range containing key. The
+// table tiles the key domain by construction, so every key has exactly
+// one owner.
+func lookup(table []verify.KeyRange, key uint64) int {
+	// The first range with Hi >= key contains it: ranges are ascending
+	// and contiguous.
+	return sort.Search(len(table), func(i int) bool { return table[i].Hi >= key })
+}
